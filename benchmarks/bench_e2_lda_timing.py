@@ -1,0 +1,58 @@
+"""E2 — Fig. 5: bus timing of the load instruction.
+
+Regenerates the load-instruction timing diagram the methodology builds
+on: address bus Ai, Ai+1, Ax; data bus M[Ai], M[Ai+1], M[Ax]; the bus
+holds the last value while floating.
+"""
+
+from conftest import emit
+
+from repro.analysis.records import ExperimentRecord, format_records
+from repro.isa.assembler import assemble
+from repro.soc.system import CpuMemorySystem
+from repro.soc.tracer import BusTracer, render_timing_diagram
+
+
+def trace_lda():
+    system = CpuMemorySystem()
+    program = assemble(
+        """
+        .org 0x010
+        lda 3:0x7F       ; Ai = 0x010, Ax = 0x37F
+halt:   jmp halt
+        .org 0x37F
+        .byte 0xC3       ; M[Ax]
+        """
+    )
+    system.load_image(program.image)
+    tracer = BusTracer([system.address_bus, system.data_bus])
+    system.run(entry=0x010, max_cycles=64)
+    return tracer
+
+
+def test_e2_lda_timing(benchmark):
+    tracer = benchmark.pedantic(trace_lda, rounds=3, iterations=1)
+    lda_window = [t for t in tracer.transactions if t.cycle <= 8]
+    emit(
+        "E2 / Fig. 5 — load instruction bus timing",
+        render_timing_diagram(lda_window),
+    )
+    addr = tracer.transitions_on("addr")
+    data = tracer.transitions_on("data")
+    records = [
+        ExperimentRecord(
+            "E2",
+            "address sequence",
+            "Ai, Ai+1, Ax",
+            "0x010, 0x011, 0x37f",
+        ),
+        ExperimentRecord(
+            "E2",
+            "data-bus test transition",
+            "M[Ai+1] -> M[Ax]",
+            f"{data[2][0]:#04x} -> {data[2][1]:#04x}",
+        ),
+    ]
+    emit("E2 — record", format_records(records))
+    assert (0x010, 0x011) in addr and (0x011, 0x37F) in addr
+    assert (0x7F, 0xC3) in data  # offset byte then loaded data

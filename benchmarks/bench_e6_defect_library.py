@@ -1,0 +1,47 @@
+"""E6 — Fig. 10 / Section 5: defect library generation statistics.
+
+Gaussian perturbation of the coupling capacitances (3-sigma point of
+150 %), keeping perturbations whose net coupling exceeds Cth; 1000
+defects per bus.  The per-wire incidence profile explains Fig. 11's
+shape: side wires (smaller nominal net coupling) essentially never
+become defective.
+"""
+
+from conftest import emit
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.records import ExperimentRecord, format_records
+from repro.xtalk.defects import generate_defect_library
+
+
+def test_e6_defect_library(benchmark, address_setup, defect_count):
+    library = benchmark.pedantic(
+        generate_defect_library,
+        args=(address_setup.caps, address_setup.calibration),
+        kwargs={"count": defect_count, "seed": 2001},
+        rounds=1,
+        iterations=1,
+    )
+    incidence = library.per_wire_incidence()
+    emit(
+        "E6 — per-line defect incidence "
+        f"(library of {len(library)}, sigma={library.sigma})",
+        bar_chart(
+            [f"line {w + 1:2d}" for w in sorted(incidence)],
+            [incidence[w] / len(library) for w in sorted(incidence)],
+            max_value=max(0.001, max(incidence.values()) / len(library)),
+        ),
+    )
+    side = [incidence[w] for w in (0, 1, 10, 11)]
+    records = [
+        ExperimentRecord("E6", "defects per bus", "1000", str(len(library))),
+        ExperimentRecord("E6", "Gaussian 3-sigma variation", "150%",
+                         f"{300 * library.sigma:.0f}%"),
+        ExperimentRecord("E6", "defects on lines 1/2/11/12", "0",
+                         "/".join(str(s) for s in side)),
+        ExperimentRecord("E6", "acceptance rate", "(not reported)",
+                         f"{100 * library.acceptance_rate:.1f}%"),
+    ]
+    emit("E6 — record", format_records(records))
+    assert len(library) == defect_count
+    assert sum(side) == 0

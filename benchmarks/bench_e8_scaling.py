@@ -1,0 +1,64 @@
+"""E8 — Section 4.3 scaling claim.
+
+"For a CPU-memory system with N interconnects, the number of MA faults
+is 4N.  Thus, the size of the test program is proportional to N" — and
+with it memory footprint, tester load time and at-speed application
+time.  We sweep the data-bus width and fit the growth.
+"""
+
+from conftest import emit
+
+from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.tables import format_table
+from repro.core.maf import enumerate_bus_faults
+from repro.core.program_builder import SelfTestProgramBuilder
+from repro.core.signature import capture_golden
+from repro.soc.bus import BusDirection
+
+WIDTHS = (2, 4, 6, 8)
+
+
+def sweep():
+    rows = []
+    for width in WIDTHS:
+        builder = SelfTestProgramBuilder(data_width=width)
+        faults = enumerate_bus_faults(
+            width, (BusDirection.MEM_TO_CPU, BusDirection.CPU_TO_MEM)
+        )
+        program = builder.build_data_bus_program(faults)
+        golden = capture_golden(program)
+        rows.append(
+            (width, len(faults), len(program.applied), program.program_size,
+             golden.cycles)
+        )
+    return rows
+
+
+def test_e8_scaling(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "E8 — data-bus self-test scaling with bus width N",
+        format_table(("N", "MAFs (8N)", "applied", "bytes", "cycles"), rows),
+    )
+    # Linearity check: bytes/N and cycles/N stay within a narrow band.
+    bytes_per_n = [row[3] / row[0] for row in rows]
+    cycles_per_n = [row[4] / row[0] for row in rows]
+    records = [
+        ExperimentRecord(
+            "E8",
+            "program size growth",
+            "proportional to N",
+            f"bytes/N in [{min(bytes_per_n):.1f}, {max(bytes_per_n):.1f}]",
+        ),
+        ExperimentRecord(
+            "E8",
+            "test time growth",
+            "proportional to N",
+            f"cycles/N in [{min(cycles_per_n):.1f}, {max(cycles_per_n):.1f}]",
+        ),
+    ]
+    emit("E8 — record", format_records(records))
+    for row in rows:
+        assert row[2] == row[1]  # every fault applied at every width
+    assert max(bytes_per_n) < 2.2 * min(bytes_per_n)
+    assert max(cycles_per_n) < 2.2 * min(cycles_per_n)

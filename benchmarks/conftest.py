@@ -1,0 +1,66 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` regenerates one paper artifact (table or figure)
+and prints the paper-vs-measured record; pytest-benchmark times the
+representative kernel.  Expensive shared artifacts (defect libraries,
+built programs) are session-scoped.
+
+Library size: the paper uses 1000 defects per bus.  The benchmarks
+default to the full 1000; set REPRO_BENCH_DEFECTS to shrink it for quick
+runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import (
+    SelfTestProgramBuilder,
+    default_address_bus_setup,
+    default_data_bus_setup,
+)
+
+DEFECT_COUNT = int(os.environ.get("REPRO_BENCH_DEFECTS", "1000"))
+
+
+def emit(title: str, body: str) -> None:
+    """Print one labelled benchmark section.
+
+    Captured by pytest and shown in the summary (the project enables
+    ``-rP``), so the regenerated tables/figures land in ``tee`` captures
+    of benchmark runs.
+    """
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}")
+
+
+@pytest.fixture(scope="session")
+def defect_count():
+    return DEFECT_COUNT
+
+
+@pytest.fixture(scope="session")
+def address_setup():
+    return default_address_bus_setup(defect_count=DEFECT_COUNT)
+
+
+@pytest.fixture(scope="session")
+def data_setup():
+    return default_data_bus_setup(defect_count=DEFECT_COUNT)
+
+
+@pytest.fixture(scope="session")
+def builder():
+    return SelfTestProgramBuilder()
+
+
+@pytest.fixture(scope="session")
+def address_program(builder):
+    return builder.build_address_bus_program()
+
+
+@pytest.fixture(scope="session")
+def data_program(builder):
+    return builder.build_data_bus_program()

@@ -1,0 +1,79 @@
+"""Explore crosstalk waveforms behind the error model.
+
+Solves the coupled-RC network for the maximum-aggressor patterns on a
+nominal and a defective bus and prints ASCII waveforms of the victim
+line — the physics the high-level error model abstracts into pass/fail
+decisions.
+
+Run:  python examples/waveform_explorer.py
+"""
+
+from repro import (
+    BusGeometry,
+    ElectricalParams,
+    calibrate,
+    extract_capacitance,
+)
+from repro.core.maf import FaultType, MAFault, ma_vector_pair
+from repro.xtalk.waveform import simulate_transition
+
+WIDTH = 8
+VICTIM = 4
+
+
+def ascii_waveform(result, wire, columns=64, rows=12):
+    voltages = result.voltages[wire]
+    vdd = result.vdd
+    step = max(1, len(voltages) // columns)
+    samples = voltages[::step][:columns]
+    lines = []
+    for row in range(rows, -1, -1):
+        level = vdd * row / rows
+        line = "".join(
+            "*" if abs(v - level) <= vdd / (2 * rows) else " "
+            for v in samples
+        )
+        label = f"{level:4.2f}V |"
+        lines.append(label + line)
+    lines.append("       +" + "-" * columns +
+                 f"  (0 .. {result.times[-1] * 1e9:.2f} ns)")
+    return "\n".join(lines)
+
+
+def show(title, caps, params, fault):
+    pair = ma_vector_pair(fault)
+    result = simulate_transition(caps, params, pair.v1, pair.v2)
+    print(f"\n--- {title}: {fault.name}  "
+          f"(v1={pair.v1:08b}, v2={pair.v2:08b}) ---")
+    print(ascii_waveform(result, VICTIM))
+    if fault.fault_type.is_glitch:
+        print(f"victim glitch peak: {result.glitch_peak(VICTIM):+.3f} V")
+    else:
+        delay = result.delay_to_half(VICTIM)
+        print(f"victim 50% crossing: {delay * 1e9:.3f} ns")
+
+
+def main():
+    params = ElectricalParams()
+    nominal = extract_capacitance(BusGeometry.edge_relaxed(WIDTH))
+    calibration = calibrate(nominal, params)
+    n = nominal.wire_count
+    factors = [[1.0] * n for _ in range(n)]
+    for j, _ in nominal.neighbours(VICTIM):
+        factors[VICTIM][j] = factors[j][VICTIM] = 2.0
+    defective = nominal.perturbed(factors)
+
+    glitch = MAFault(victim=VICTIM, fault_type=FaultType.POSITIVE_GLITCH,
+                     width=WIDTH)
+    delay = MAFault(victim=VICTIM, fault_type=FaultType.RISING_DELAY,
+                    width=WIDTH)
+    print(f"glitch threshold: {calibration.v_th:.3f} V; settling margin: "
+          f"{calibration.margin_for(list(calibration.t_margin)[0]) * 1e9:.3f} ns")
+    show("nominal bus", nominal, params, glitch)
+    show("defective bus", defective, params, glitch)
+    show("nominal bus", nominal, params, delay)
+    show("defective bus", defective, params, delay)
+
+
+if __name__ == "__main__":
+    main()

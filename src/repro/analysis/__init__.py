@@ -1,0 +1,13 @@
+"""Reporting helpers: tables, ASCII charts, experiment records."""
+
+from repro.analysis.tables import format_table
+from repro.analysis.charts import bar_chart, coverage_chart
+from repro.analysis.records import ExperimentRecord, format_records
+
+__all__ = [
+    "format_table",
+    "bar_chart",
+    "coverage_chart",
+    "ExperimentRecord",
+    "format_records",
+]

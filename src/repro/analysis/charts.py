@@ -1,0 +1,47 @@
+"""ASCII chart rendering (the terminal stand-in for the paper's figures)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    max_value: float = 1.0,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if max_value <= 0:
+        raise ValueError("max_value must be positive")
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        clamped = min(max(value, 0.0), max_value)
+        bar = "#" * round(width * clamped / max_value)
+        lines.append(f"{label.ljust(label_width)}  {value:6.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def coverage_chart(
+    lines_data: Sequence[Tuple[int, float, float]],
+    width: int = 40,
+) -> str:
+    """Fig. 11-style chart: per-line individual and cumulative coverage.
+
+    ``lines_data`` holds ``(line number, individual, cumulative)``.
+    """
+    out: List[str] = [
+        "line  individual  cumulative  "
+        "(light: individual '#', dark: cumulative '=')"
+    ]
+    for line, individual, cumulative in lines_data:
+        ind_bar = "#" * round(width * min(individual, 1.0))
+        cum_bar = "=" * round(width * min(cumulative, 1.0))
+        out.append(f"{line:4d}   {individual:9.3f}  {cumulative:9.3f}")
+        out.append(f"      ind |{ind_bar}")
+        out.append(f"      cum |{cum_bar}")
+    return "\n".join(out)

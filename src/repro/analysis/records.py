@@ -1,0 +1,35 @@
+"""Experiment records: paper value versus measured value.
+
+Benchmarks emit these so EXPERIMENTS.md and the terminal output state
+the reproduction deltas in one uniform format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.tables import format_table
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One paper-vs-measured comparison line."""
+
+    experiment: str  # e.g. "E4/Fig.11"
+    quantity: str  # what is being compared
+    paper: str  # the paper's reported value (verbatim-ish)
+    measured: str  # this reproduction's value
+    note: str = ""  # deviation explanation, if any
+
+
+def format_records(records: Iterable[ExperimentRecord], title: str = "") -> str:
+    """Render records as an aligned table."""
+    return format_table(
+        headers=("experiment", "quantity", "paper", "measured", "note"),
+        rows=[
+            (r.experiment, r.quantity, r.paper, r.measured, r.note)
+            for r in records
+        ],
+        title=title,
+    )

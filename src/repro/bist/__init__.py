@@ -1,0 +1,31 @@
+"""Hardware built-in self-test baseline (Bai, Dey & Rajski, DAC 2000).
+
+The paper positions software-based self-test against the earlier
+hardware BIST approach, in which on-chip pattern generators and error
+detectors apply the MA tests in a dedicated test mode.  This package
+models that baseline so the comparison experiments (E7) can quantify the
+paper's two claims:
+
+* hardware BIST costs area (pattern generator + detector per bus), while
+  SBST costs none;
+* hardware BIST applies *every* MA pattern regardless of whether the
+  functional mode could ever produce it, risking over-testing —
+  rejecting chips whose defects can never corrupt real operation.
+"""
+
+from repro.bist.pattern_gen import MAPatternGenerator
+from repro.bist.error_detector import ErrorDetector
+from repro.bist.controller import BistController, BistResult
+from repro.bist.area import AreaEstimate, estimate_bist_area
+from repro.bist.overtest import OverTestReport, analyze_overtesting
+
+__all__ = [
+    "MAPatternGenerator",
+    "ErrorDetector",
+    "BistController",
+    "BistResult",
+    "AreaEstimate",
+    "estimate_bist_area",
+    "OverTestReport",
+    "analyze_overtesting",
+]

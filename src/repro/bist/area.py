@@ -1,0 +1,89 @@
+"""First-order area model for the hardware self-test circuitry.
+
+The paper's motivation for SBST is that "for small systems, the amount
+of relative area overhead may be unacceptable".  This model produces a
+gate-equivalent estimate of the DAC'00-style BIST blocks so experiment
+E7 can put a number on that claim:
+
+* **sequencer** — a test counter plus decode logic stepping through the
+  MA patterns: one flip-flop per counter bit (~6 gate equivalents each)
+  plus decode gates proportional to the bus width;
+* **pattern driver** — per-wire pattern formation (victim select,
+  aggressor polarity) and test-mode multiplexers onto the bus;
+* **error detector** — per-wire XOR against the expected vector, an OR
+  reduction and a latch;
+* **response register** — one bit per test family for diagnosis.
+
+Constants are rough standard-cell gate-equivalents; the point of the
+experiment is the scaling and the contrast with SBST's zero overhead,
+not absolute precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Gate equivalents per flip-flop.
+GE_PER_FLOP = 6.0
+#: Gate equivalents per 2-input combinational gate.
+GE_PER_GATE = 1.0
+#: Gate equivalents of a 2:1 bus multiplexer bit.
+GE_PER_MUX_BIT = 3.0
+#: Gate equivalents of an XOR bit plus its share of the OR reduction.
+GE_PER_XOR_BIT = 3.5
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Gate-equivalent breakdown of one bus's BIST circuitry."""
+
+    sequencer: float
+    pattern_driver: float
+    error_detector: float
+    response_register: float
+
+    @property
+    def total(self) -> float:
+        """Total gate equivalents."""
+        return (
+            self.sequencer
+            + self.pattern_driver
+            + self.error_detector
+            + self.response_register
+        )
+
+    def relative_to(self, system_gates: float) -> float:
+        """Overhead as a fraction of a host system's gate count."""
+        if system_gates <= 0:
+            raise ValueError("system_gates must be positive")
+        return self.total / system_gates
+
+
+def estimate_bist_area(
+    width: int, bidirectional: bool = False
+) -> AreaEstimate:
+    """Estimate the BIST area for one ``width``-bit bus."""
+    test_count = 4 * width * (2 if bidirectional else 1)
+    counter_bits = max(1, math.ceil(math.log2(2 * test_count + 2)))
+    sequencer = counter_bits * GE_PER_FLOP + 4 * width * GE_PER_GATE
+    # Victim-select decoder (one-hot over wires) + polarity logic + muxes,
+    # doubled for a bidirectional bus (drivers at both ends).
+    driver_sides = 2 if bidirectional else 1
+    pattern_driver = driver_sides * (
+        width * GE_PER_MUX_BIT + 2 * width * GE_PER_GATE
+    )
+    error_detector = driver_sides * (width * GE_PER_XOR_BIT + GE_PER_FLOP)
+    response_register = 4 * GE_PER_FLOP
+    return AreaEstimate(
+        sequencer=sequencer,
+        pattern_driver=pattern_driver,
+        error_detector=error_detector,
+        response_register=response_register,
+    )
+
+
+#: Approximate gate count of the demonstrator SoC (a PARWAN-class CPU is
+#: roughly 1.5k gate equivalents; 4K x 8 SRAM excluded, as BIST overhead
+#: is conventionally quoted against logic).
+DEMONSTRATOR_SYSTEM_GATES = 1500.0

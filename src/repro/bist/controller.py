@@ -1,0 +1,89 @@
+"""BIST session controller: applies the MA pattern set to a bus model.
+
+In test mode the hardware drives the bus directly — no CPU, no memory
+traffic in between — so every MA pattern is applied back-to-back exactly
+as specified.  The same crosstalk error model used for the SBST defect
+simulation corrupts the receiver-side words, and the error detector
+latches mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.bist.error_detector import ErrorDetector
+from repro.bist.pattern_gen import MAPatternGenerator
+from repro.soc.bus import Bus, BusDirection, TransactionKind
+from repro.xtalk.calibration import Calibration
+from repro.xtalk.defects import Defect, DefectLibrary
+from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.params import ElectricalParams
+
+
+@dataclass(frozen=True)
+class BistResult:
+    """Outcome of one BIST session against one defect."""
+
+    defect_index: int
+    detected: bool
+    failing_tests: Tuple[int, ...]
+
+
+class BistController:
+    """Runs hardware self-test sessions over a defect library."""
+
+    def __init__(
+        self,
+        generator: MAPatternGenerator,
+        params: ElectricalParams,
+        calibration: Calibration,
+    ):
+        self.generator = generator
+        self.params = params
+        self.calibration = calibration
+
+    def run_session(self, defect: Defect) -> BistResult:
+        """Apply the full MA pattern set with ``defect`` present."""
+        bus = Bus("bist", self.generator.width)
+        model = CrosstalkErrorModel(defect.caps, self.params, self.calibration)
+        bus.install_corruption_hook(model.corrupt)
+        detector = ErrorDetector(self.generator.width)
+        cycle = 0
+        for index, test in enumerate(self.generator.tests()):
+            # Drive v1, then v2; only the v2 sampling matters (the
+            # transition of interest happens when v2 is driven).
+            bus.transfer(test.pair.v1, test.direction, TransactionKind.FETCH, cycle)
+            sampled = bus.transfer(
+                test.pair.v2, test.direction, TransactionKind.FETCH, cycle + 1
+            )
+            detector.check(index, test.pair.v2, sampled)
+            cycle += 2
+        return BistResult(
+            defect_index=defect.index,
+            detected=detector.failed,
+            failing_tests=tuple(detector.failing_tests()),
+        )
+
+    def run_library(self, library: DefectLibrary) -> List[BistResult]:
+        """Run one session per library defect."""
+        return [self.run_session(defect) for defect in library]
+
+    def detected_set(self, library: DefectLibrary) -> Set[int]:
+        """Indices of defects the BIST detects."""
+        return {
+            result.defect_index
+            for result in self.run_library(library)
+            if result.detected
+        }
+
+    def coverage(self, library: DefectLibrary) -> float:
+        """Fraction of library defects detected."""
+        if len(library) == 0:
+            return 0.0
+        return len(self.detected_set(library)) / len(library)
+
+    @property
+    def test_cycles(self) -> int:
+        """Bus cycles one BIST session takes (two per MA test)."""
+        return 2 * self.generator.test_count

@@ -1,0 +1,56 @@
+"""Model of the receiver-side error detector.
+
+In the hardware self-test, the receiving end of the bus compares the
+sampled word against the expected second vector and latches any
+mismatch.  The model keeps the mismatch log so diagnosis experiments can
+attribute failures to individual MA tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class DetectedError:
+    """One latched mismatch."""
+
+    test_index: int
+    expected: int
+    sampled: int
+
+    @property
+    def error_bits(self) -> int:
+        """Bit mask of the mismatching wires."""
+        return self.expected ^ self.sampled
+
+
+@dataclass
+class ErrorDetector:
+    """Compares sampled words against expectations and latches failures."""
+
+    width: int
+    log: List[DetectedError] = field(default_factory=list)
+
+    def check(self, test_index: int, expected: int, sampled: int) -> bool:
+        """Compare one sampled word; returns True when it matches."""
+        if sampled == expected:
+            return True
+        self.log.append(
+            DetectedError(test_index=test_index, expected=expected, sampled=sampled)
+        )
+        return False
+
+    @property
+    def failed(self) -> bool:
+        """True once any mismatch was latched."""
+        return bool(self.log)
+
+    def failing_tests(self) -> List[int]:
+        """Indices of the tests that latched an error."""
+        return sorted({entry.test_index for entry in self.log})
+
+    def reset(self) -> None:
+        """Clear the latch (start of a new test session)."""
+        self.log.clear()

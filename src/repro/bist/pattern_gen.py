@@ -1,0 +1,84 @@
+"""Model of an on-chip MA test pattern generator.
+
+The DAC'00 hardware self-test builds a small finite-state machine per bus
+that walks through all MA tests: for each victim and each error effect it
+drives the two-vector sequence onto the bus in test mode.  Here the
+generator is modeled functionally (the sequence it produces), plus the
+bookkeeping a hardware implementation needs (state count) for the area
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.maf import MAFault, VectorPair, enumerate_bus_faults, ma_vector_pair
+from repro.soc.bus import BusDirection
+
+
+@dataclass(frozen=True)
+class GeneratedTest:
+    """One test the pattern generator applies."""
+
+    fault: MAFault
+    pair: VectorPair
+    direction: BusDirection
+
+
+class MAPatternGenerator:
+    """Enumerates the MA test sequence for one bus.
+
+    Parameters
+    ----------
+    width:
+        Bus width in bits.
+    directions:
+        Driving directions to cover; one for a unidirectional bus, both
+        for the bidirectional data bus.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        directions: Tuple[BusDirection, ...] = (BusDirection.CPU_TO_MEM,),
+    ):
+        if not directions:
+            raise ValueError("at least one direction required")
+        self.width = width
+        self.directions = directions
+
+    @property
+    def test_count(self) -> int:
+        """Total number of MA tests (4N per direction)."""
+        return 4 * self.width * len(self.directions)
+
+    def tests(self) -> Iterator[GeneratedTest]:
+        """Yield every MA test in generator order."""
+        for direction in self.directions:
+            faults: List[MAFault] = enumerate_bus_faults(
+                self.width,
+                (direction if len(self.directions) > 1 else None,),
+            )
+            for fault in faults:
+                yield GeneratedTest(
+                    fault=fault,
+                    pair=ma_vector_pair(fault),
+                    direction=direction,
+                )
+
+    def state_count(self) -> int:
+        """States a hardware FSM implementation needs.
+
+        Two states (drive v1, drive v2) per test plus setup/done states —
+        the basis of the sequencer part of the area estimate.
+        """
+        return 2 * self.test_count + 2
+
+    def vectors(self, direction: Optional[BusDirection] = None) -> List[VectorPair]:
+        """All vector pairs (optionally for one direction)."""
+        return [
+            test.pair
+            for test in self.tests()
+            if direction is None or test.direction is direction
+        ]

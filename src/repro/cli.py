@@ -1,0 +1,168 @@
+"""Command-line interface: build, inspect and evaluate self-test programs.
+
+Usage (installed as the ``repro-sbst`` entry point, or via
+``python -m repro.cli``)::
+
+    repro-sbst build --bus addr            # build + summarize a program
+    repro-sbst build --bus data --listing  # with disassembly
+    repro-sbst simulate --bus addr --defects 500
+    repro-sbst fig11 --defects 400         # the paper's Fig. 11
+    repro-sbst timing                      # Fig. 5 timing diagram
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    DefectSimulator,
+    SelfTestProgramBuilder,
+    address_bus_line_coverage,
+    default_bus_setup,
+)
+from repro.analysis.charts import coverage_chart
+from repro.analysis.tables import format_table
+from repro.core.signature import capture_golden
+from repro.core.validate import validate_applied_tests
+from repro.isa.disassembler import disassemble_image, format_listing
+
+
+def _build_program(bus: str, builder: Optional[SelfTestProgramBuilder] = None):
+    builder = builder or SelfTestProgramBuilder()
+    if bus == "addr":
+        return builder, builder.build_address_bus_program()
+    if bus == "data":
+        return builder, builder.build_data_bus_program()
+    return builder, builder.build()
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    _, program = _build_program(args.bus)
+    golden = capture_golden(program)
+    validation = validate_applied_tests(program)
+    total = len(program.applied) + len(program.skipped)
+    rows = [
+        ("tests applied", f"{len(program.applied)}/{total}"),
+        ("tests skipped (conflicts)", str(len(program.skipped))),
+        ("validated on bus", f"{len(validation.confirmed)}/{len(program.applied)}"),
+        ("program size (bytes)", str(program.program_size)),
+        ("fault-free cycles", str(golden.cycles)),
+        ("entry point", f"{program.entry:#05x}"),
+    ]
+    print(format_table(("quantity", "value"), rows,
+                       title=f"self-test program for bus: {args.bus}"))
+    if args.listing:
+        print()
+        print(format_listing(
+            disassemble_image(program.image, start=program.entry,
+                              limit=args.listing_limit)
+        ))
+    if args.hex:
+        from repro.soc.hexfile import dump_image
+
+        with open(args.hex, "w") as stream:
+            stream.write(dump_image(program.image))
+        print(f"\nimage written to {args.hex} (Intel HEX, "
+              f"{program.program_size} bytes)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    width = 12 if args.bus == "addr" else 8
+    setup = default_bus_setup(width, defect_count=args.defects, seed=args.seed)
+    _, program = _build_program(args.bus)
+    simulator = DefectSimulator(
+        program, setup.params, setup.calibration, bus=args.bus
+    )
+    outcomes = simulator.run_library(setup.library)
+    detected = sum(1 for o in outcomes if o.detected)
+    timeouts = sum(1 for o in outcomes if o.timed_out)
+    rows = [
+        ("defects simulated", str(len(outcomes))),
+        ("detected", f"{detected} ({100 * detected / len(outcomes):.1f}%)"),
+        ("of which hung the CPU", str(timeouts)),
+    ]
+    print(format_table(("quantity", "value"), rows,
+                       title=f"defect simulation on bus: {args.bus}"))
+    return 0
+
+
+def cmd_fig11(args: argparse.Namespace) -> int:
+    setup = default_bus_setup(12, defect_count=args.defects, seed=args.seed)
+    builder, program = _build_program("addr")
+    report = address_bus_line_coverage(
+        setup.library, setup.params, setup.calibration,
+        builder=builder, full_program=program,
+    )
+    print(coverage_chart(
+        [(line.line, line.individual, line.cumulative)
+         for line in report.lines]
+    ))
+    print(f"cumulative: {100 * report.cumulative_coverage:.1f}%   "
+          f"full program: {100 * report.full_program_coverage:.1f}%")
+    return 0
+
+
+def cmd_timing(args: argparse.Namespace) -> int:
+    from repro.isa.assembler import assemble
+    from repro.soc import BusTracer, CpuMemorySystem
+    from repro.soc.tracer import render_timing_diagram
+
+    system = CpuMemorySystem()
+    program = assemble(
+        ".org 0x010\nlda 3:0x7F\nhalt: jmp halt\n.org 0x37F\n.byte 0xC3"
+    )
+    system.load_image(program.image)
+    tracer = BusTracer([system.address_bus, system.data_bus])
+    system.run(entry=0x010, max_cycles=64)
+    print(render_timing_diagram(
+        [t for t in tracer.transactions if t.cycle <= 8]
+    ))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sbst",
+        description="Software-based self-test for interconnect crosstalk "
+        "(Chen/Bai/Dey DAC'01 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a self-test program")
+    build.add_argument("--bus", choices=("addr", "data", "both"),
+                       default="addr")
+    build.add_argument("--listing", action="store_true",
+                       help="print a disassembly")
+    build.add_argument("--listing-limit", type=int, default=60)
+    build.add_argument("--hex", metavar="PATH",
+                       help="write the program image as Intel HEX")
+    build.set_defaults(func=cmd_build)
+
+    simulate = sub.add_parser("simulate", help="run a defect campaign")
+    simulate.add_argument("--bus", choices=("addr", "data"), default="addr")
+    simulate.add_argument("--defects", type=int, default=300)
+    simulate.add_argument("--seed", type=int, default=2001)
+    simulate.set_defaults(func=cmd_simulate)
+
+    fig11 = sub.add_parser("fig11", help="reproduce the paper's Fig. 11")
+    fig11.add_argument("--defects", type=int, default=300)
+    fig11.add_argument("--seed", type=int, default=2001)
+    fig11.set_defaults(func=cmd_fig11)
+
+    timing = sub.add_parser("timing", help="Fig. 5 load-instruction timing")
+    timing.set_defaults(func=cmd_timing)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,455 @@
+"""Address-bus MA test fragments (paper Section 4.2).
+
+Delay faults (Section 4.2.1) use the in-instruction transition
+``Ai+1 -> Ax`` of a load: the load's second byte sits at address ``v1``
+(instruction at ``v1 - 1``) and its operand address is ``v2``.  Marker
+bytes at ``v2`` (pass) and at the corrupted address ``v2'`` (fail) make
+the error observable through the loaded value.
+
+Glitch faults (Section 4.2.2) cannot use that transition — every positive
+glitch test starts from vector 0...0, so all of them would need their
+second byte at address 0 (an address conflict).  Instead they use the
+*between-instruction* transition ``Ax -> Ai+2``: a first load reads from
+``v1``, and the next instruction sits at ``v2``.  A corrupted fetch
+address ``v2'`` makes the CPU execute a *different planted first byte*
+(``lda`` from another page), while the second byte still comes from the
+true ``v2 + 1`` — so pass/fail markers live at ``p1:o`` and ``p2:o``
+(Fig. 7).
+
+Address conflicts and their resolution
+--------------------------------------
+Tests pin bytes at vector-dictated addresses, so their windows overlap
+(e.g. the rising-delay and positive-glitch tests of line *k* both need
+bytes around ``~bit_k``).  Three mechanisms dissolve most collisions:
+
+* *value adoption* — flexible bytes (markers, the shared offset ``o``,
+  planted load pages) take whatever value an overlapping test fixed;
+* *adaptive trailing jumps* — when an overlapping test pre-placed one of
+  a fragment's ``JMP`` bytes, the jump's glue target is steered so the
+  encoding matches (see
+  :meth:`~repro.core.assembly.ProgramAssembly.emit_trailing_jump`);
+* *indirect first instruction* — a glitch test whose ``lda v1`` second
+  byte collides can switch to ``lda@``: the offset byte becomes flexible
+  and a pointer cell placed elsewhere redirects the operand fetch to
+  ``v1``, preserving the ``v1 -> v2`` bus transition.
+
+What remains unplaceable (e.g. the negative glitch of line 1, whose
+corrupted target *is* its own instruction byte) is skipped — the paper's
+"tests that cannot be applied due to address conflicts" — and deferred to
+follow-up sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from repro.core.allocator import AllocationError
+from repro.core.assembly import ProgramAssembly
+from repro.core.image import ConflictError, MemoryImage
+from repro.core.maf import MAFault, corrupted_vector, ma_vector_pair
+from repro.isa.encoding import Instruction, make_address, offset_of, page_of
+from repro.isa.instructions import Mnemonic
+
+#: Preferred marker values; flexible placement may adopt others.
+PASS_PREFERRED = 0x55
+FAIL_PREFERRED = 0x2A
+#: Preferred pages for the planted true/corrupted glitch loads (the paper's
+#: Fig. 7 uses pages 1 and 2).
+TRUE_PAGE_PREFERRED = 0x1
+CORRUPT_PAGE_PREFERRED = 0x2
+
+
+@dataclass(frozen=True)
+class FragmentInfo:
+    """Result of building one test fragment."""
+
+    entry: int
+    responses: Tuple[int, ...]
+    technique: str
+    faults: Tuple[MAFault, ...]
+
+
+def _adopt_or_pick_page(
+    image: MemoryImage,
+    address: int,
+    owner: str,
+    preferred: int,
+    forbidden: Set[int],
+) -> Tuple[int, bool]:
+    """Choose the planted ``lda`` first byte at ``address``.
+
+    Returns ``(page, indirect)``.  A direct-``lda`` first byte encodes as
+    the bare page number (opcode 000, indirect 0), so an existing byte
+    0x00-0x0F is adopted as a direct load; 0x10-0x1F is adopted as an
+    *indirect* load (the marker then sits one pointer hop away, see
+    :func:`_place_path_marker`).  A free byte gets the preferred page
+    planted as a direct load.
+    """
+    existing = image.value_at(address)
+    if existing is not None:
+        if existing <= 0x0F and existing not in forbidden:
+            image.place(address, existing, owner, role="planted lda")
+            return existing, False
+        if 0x10 <= existing <= 0x1F:
+            image.place(address, existing, owner, role="adopted lda@")
+            return existing & 0x0F, True
+        raise ConflictError(
+            address % image.size,
+            image.provenance()[address % image.size],
+            existing,
+            owner,
+        )
+    page = preferred & 0x0F
+    while page in forbidden:
+        page = (page + 1) & 0x0F
+    image.place(address, page, owner, role="planted lda")
+    return page, False
+
+
+def _place_path_marker(
+    image: MemoryImage,
+    page: int,
+    indirect: bool,
+    offset: int,
+    owner: str,
+    role: str,
+    preferred: int,
+    avoid: Tuple[int, ...],
+) -> int:
+    """Place the marker a planted load will deliver into the accumulator.
+
+    For a direct load the marker sits at ``page:offset``.  For an
+    adopted *indirect* load the cell at ``page:offset`` is a pointer and
+    the marker sits at ``page:pointer`` — one extra, equally flexible
+    hop.  Returns the marker value.
+    """
+    address = make_address(page, offset)
+    if not indirect:
+        return image.place_flexible(
+            address, owner, role=role, preferred=preferred, avoid=avoid
+        )
+    pointer = image.place_flexible(
+        address, owner, role=role + " pointer", preferred=(0x90 + page) & 0xFF
+    )
+    target = make_address(page, pointer)
+    if target == address:
+        # Self-pointing cell: the pointer byte doubles as the marker.
+        if pointer in avoid:
+            raise ConflictError(
+                address % image.size,
+                image.provenance()[address % image.size],
+                pointer,
+                owner,
+            )
+        return pointer
+    return image.place_flexible(
+        target, owner, role=role, preferred=preferred, avoid=avoid
+    )
+
+
+def delay_footprint(fault: MAFault, memory_size: int = 4096) -> Set[int]:
+    """Addresses a delay-fault fragment pins (for allocator lookahead)."""
+    pair = ma_vector_pair(fault)
+    v1, v2 = pair.v1, pair.v2
+    addresses = {(v1 - 1) % memory_size, v1, (v1 + 1) % memory_size,
+                 (v1 + 2) % memory_size, v2, corrupted_vector(fault)}
+    return {a % memory_size for a in addresses}
+
+
+def glitch_footprint(fault: MAFault, memory_size: int = 4096) -> Set[int]:
+    """Addresses a glitch-fault fragment pins (for allocator lookahead)."""
+    pair = ma_vector_pair(fault)
+    v2 = pair.v2
+    addresses = {(v2 + k) % memory_size for k in range(-2, 4)}
+    addresses.add(corrupted_vector(fault) % memory_size)
+    return addresses
+
+
+def build_delay_fragment(assembly: ProgramAssembly, fault: MAFault) -> FragmentInfo:
+    """Build the one-instruction delay-fault test (Section 4.2.1).
+
+    Layout (all addresses mod memory size)::
+
+        v1-1: lda <v2>          ; second byte lands at v1
+        v1+1: jmp glue
+        glue: sta resp
+              jmp next
+        v2:   PASS marker       ; loaded when the bus is healthy
+        v2':  FAIL marker       ; loaded when the victim is late
+
+    Raises :class:`ConflictError`/``AllocationError`` when the pinned
+    bytes collide with earlier placements; the caller rolls back.
+    """
+    if not fault.fault_type.is_delay:
+        raise ValueError("delay builder called with a glitch fault")
+    pair = ma_vector_pair(fault)
+    size = assembly.image.size
+    owner = fault.name
+    v1, v2 = pair.v1, pair.v2
+    v2_corrupt = corrupted_vector(fault)
+    entry = (v1 - 1) % size
+
+    # A jump opcode at address 0x000 or 0xFFF would block every other
+    # test that plants an adoptable load byte at the shared corruption
+    # targets (all-zeros / all-ones); fail over to the two-instruction
+    # technique instead.
+    hot = {0, size - 1}
+    if {(v1 + 1) % size, (v1 + 2) % size} & hot:
+        raise AllocationError(
+            f"{owner}: one-instruction jump window touches a shared "
+            "corruption target"
+        )
+    response = assembly.new_response_byte(owner)
+    assembly.emit_code_at(
+        entry, [Instruction(Mnemonic.LDA, operand=v2)], owner, role="pinned lda"
+    )
+    assembly.emit_trailing_jump(
+        (v1 + 1) % size,
+        owner,
+        [Instruction(Mnemonic.STA, operand=response)],
+    )
+    # Markers are deferred: their cells often coincide with bytes a
+    # later-built test pins (e.g. this line's falling-delay counterpart),
+    # and adoption must happen after those bytes exist.
+    assembly.defer_marker_pair(
+        owner, v2, v2_corrupt, PASS_PREFERRED, FAIL_PREFERRED
+    )
+    return FragmentInfo(
+        entry=entry,
+        responses=(response,),
+        technique="addr/delay",
+        faults=(fault,),
+    )
+
+
+def _emit_first_load_direct(
+    assembly: ProgramAssembly, entry: int, v1: int, owner: str
+) -> None:
+    """Instr. 1 of a glitch test as a direct load: ``lda v1``."""
+    assembly.emit_code_at(
+        entry, [Instruction(Mnemonic.LDA, operand=v1)], owner, role="pinned lda v1"
+    )
+
+
+def _emit_first_load_indirect(
+    assembly: ProgramAssembly, entry: int, v1: int, owner: str
+) -> None:
+    """Instr. 1 of a glitch test as an indirect load: ``lda@ P:off``.
+
+    The pointer cell ``P:off`` holds ``offset(v1)``, so the operand fetch
+    still drives ``v1`` on the address bus — but the instruction's second
+    byte (``off``) is now a free choice, dissolving collisions at
+    ``entry + 1``.
+    """
+    size = assembly.image.size
+    image = assembly.image
+    page = page_of(v1)
+    byte1 = 0b0001_0000 | page  # lda, indirect, page of v1
+    image.place(entry, byte1, owner, role="pinned lda@ v1")
+    offset_address = (entry + 1) % size
+    existing = image.value_at(offset_address)
+    if existing is not None:
+        candidates = [existing]
+    elif offset_address in (0, size - 1):
+        # The all-zeros/all-ones cells are every test family's corruption
+        # target; whatever lands there should stay adoptable as a planted
+        # load (0x00-0x0F), preferring "lda page F" which several other
+        # constructions want at these cells.
+        candidates = [0x0F] + [v for v in range(0x10) if v != 0x0F] + list(
+            range(0x10, 256)
+        )
+    else:
+        candidates = list(range(256))
+    pointer_value = offset_of(v1)
+    for off in candidates:
+        pointer = make_address(page, off)
+        if pointer == offset_address and off != pointer_value:
+            continue  # pointer cell and offset byte coincide but disagree
+        held = image.value_at(pointer)
+        if held is not None and held != pointer_value:
+            continue
+        if held is None and not image.is_free(pointer):
+            continue  # reserved-pending byte
+        if (
+            held is None
+            and pointer in assembly.allocator.avoid
+            and pointer not in assembly.marker_addresses
+        ):
+            # Future pinned bytes are off limits, but a deferred-marker
+            # cell is fair game — the marker adopts whatever we place.
+            continue
+        image.place(offset_address, off, owner, role="lda@ offset")
+        image.place(pointer, pointer_value, owner, role="lda@ pointer")
+        return
+    raise AllocationError(
+        f"{owner}: no pointer cell available for indirect load of {v1:#05x}"
+    )
+
+
+def build_two_instruction_fragment(
+    assembly: ProgramAssembly,
+    fault: MAFault,
+    indirect_first: bool = False,
+) -> FragmentInfo:
+    """Build the two-instruction test (Section 4.2.2, Fig. 7).
+
+    The paper introduces this technique for the glitch faults, whose MA
+    pairs all start from the same first vector and therefore collide in
+    the one-instruction scheme.  The same construction is equally valid
+    for *delay* faults — the corrupted fetch address is the second vector
+    with the victim bit held at its old value — and serves as a fallback
+    when a delay test's one-instruction window is contested.
+
+    Layout::
+
+        v2-2: lda <v1>          ; operand fetch puts v1 on the address bus
+        v2:   lda p1:o          ; its fetch puts v2 on the address bus
+        v2+2: jmp glue
+        glue: sta resp
+              jmp next
+        v2':  first byte "lda p2"   ; executed instead when v2 glitches
+        p1:o  PASS marker
+        p2:o  FAIL marker
+
+    The second byte ``o`` at ``v2+1`` is shared by the true and the
+    corrupted instruction (the CPU's program counter is not corrupted, so
+    the second fetch always reads the true ``v2+1``).  With
+    ``indirect_first`` the first load uses indirect addressing (see
+    :func:`_emit_first_load_indirect`).
+    """
+    pair = ma_vector_pair(fault)
+    size = assembly.image.size
+    owner = fault.name
+    v1, v2 = pair.v1, pair.v2
+    v2_corrupt = corrupted_vector(fault)
+    entry = (v2 - 2) % size
+
+    hot = {0, size - 1}
+    if {(v2 + 2) % size, (v2 + 3) % size} & hot:
+        raise AllocationError(
+            f"{owner}: two-instruction jump window touches a shared "
+            "corruption target"
+        )
+    response = assembly.new_response_byte(owner)
+    if indirect_first:
+        _emit_first_load_indirect(assembly, entry, v1, owner)
+    else:
+        _emit_first_load_direct(assembly, entry, v1, owner)
+    # The *true* second instruction at v2 comes in two modes:
+    #   - "lda": a planted (or adopted, value <= 0x0F) direct load from
+    #     page p1; pass marker at p1:o (the paper's Fig. 7 construction);
+    #   - "implied": an overlapping test fixed the byte at v2 to 0xF0-0xFF,
+    #     which executes as a one-byte implied instruction.  The true path
+    #     then also executes o (constrained to implied encodings) and the
+    #     accumulator keeps a deterministic, instr.1-derived value, while
+    #     the corrupted path still loads the fail marker from p2:o.
+    existing = assembly.image.value_at(v2)
+    implied_mode = existing is not None and existing >= 0xF0
+    true_page = None
+    true_indirect = False
+    if implied_mode:
+        assembly.image.place(v2, existing, owner, role="adopted implied")
+    else:
+        true_page, true_indirect = _adopt_or_pick_page(
+            assembly.image, v2, owner, TRUE_PAGE_PREFERRED, forbidden=set()
+        )
+    forbidden = set()
+    if true_page is not None and not true_indirect:
+        forbidden = {true_page}
+    corrupt_page, corrupt_indirect = _adopt_or_pick_page(
+        assembly.image, v2_corrupt, owner, CORRUPT_PAGE_PREFERRED, forbidden
+    )
+    # Shared second byte (the arbitrary offset "o" of Fig. 7).  In implied
+    # mode the true path executes it, so it must itself be implied.
+    implied_values = tuple(range(0xF0, 0x100))
+    offset = assembly.image.place_flexible(
+        (v2 + 1) % size,
+        owner,
+        role="shared offset",
+        preferred=0xF0 if implied_mode else 0x0D,
+        allowed=implied_values if implied_mode else None,
+    )
+    # Markers distinguish the executed path through the loaded value.
+    pass_value = None
+    if true_page is not None:
+        pass_value = _place_path_marker(
+            assembly.image,
+            true_page,
+            true_indirect,
+            offset,
+            owner,
+            role="pass marker",
+            preferred=PASS_PREFERRED,
+            avoid=(),
+        )
+    _place_path_marker(
+        assembly.image,
+        corrupt_page,
+        corrupt_indirect,
+        offset,
+        owner,
+        role="fail marker",
+        preferred=FAIL_PREFERRED,
+        avoid=(pass_value,) if pass_value is not None else (),
+    )
+    assembly.emit_trailing_jump(
+        (v2 + 2) % size,
+        owner,
+        [Instruction(Mnemonic.STA, operand=response)],
+    )
+    technique = "addr/two-instr"
+    if indirect_first:
+        technique += "+indirect"
+    if implied_mode:
+        technique += "+implied"
+    return FragmentInfo(
+        entry=entry,
+        responses=(response,),
+        technique=technique,
+        faults=(fault,),
+    )
+
+
+def fragment_variants(fault: MAFault):
+    """Builder callables to try for ``fault``, most preferred first.
+
+    Each takes the assembly and returns a :class:`FragmentInfo`; the
+    program builder tries them transactionally in order.  Delay faults
+    prefer the paper's one-instruction technique and fall back to the
+    two-instruction one; glitch faults only have the two-instruction
+    technique, optionally with an indirect first load.
+    """
+    two_instruction = (
+        lambda assembly, f=fault: build_two_instruction_fragment(assembly, f),
+        lambda assembly, f=fault: build_two_instruction_fragment(
+            assembly, f, indirect_first=True
+        ),
+    )
+    if fault.fault_type.is_delay:
+        return (
+            lambda assembly, f=fault: build_delay_fragment(assembly, f),
+        ) + two_instruction
+    return two_instruction
+
+
+def build_address_fragment(
+    assembly: ProgramAssembly, fault: MAFault
+) -> FragmentInfo:
+    """Dispatch to the preferred address-bus builder for ``fault``."""
+    if fault.fault_type.is_delay:
+        return build_delay_fragment(assembly, fault)
+    return build_two_instruction_fragment(assembly, fault)
+
+
+def address_footprint(fault: MAFault, memory_size: int = 4096) -> Set[int]:
+    """Pinned-address lookahead for ``fault``.
+
+    Delay faults may end up using either technique, so both windows are
+    reserved.
+    """
+    if fault.fault_type.is_delay:
+        return delay_footprint(fault, memory_size) | glitch_footprint(
+            fault, memory_size
+        )
+    return glitch_footprint(fault, memory_size)

@@ -1,0 +1,165 @@
+"""Free-space allocation for self-test program glue.
+
+Address-bus tests pin bytes at addresses dictated by the test vectors;
+everything else — chained code fragments, response bytes, data-bus operand
+cells — is *glue* that merely needs free space.  The allocator hands out
+that space while steering clear of:
+
+* bytes already placed in the image, and
+* the *lookahead set*: addresses that tests still to be placed will pin.
+
+The lookahead is what keeps the applied-test count high: without it, an
+early data-bus fragment could squat on the one address a later
+address-bus test must own.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.core.image import MemoryImage
+
+
+class AllocationError(Exception):
+    """No free space satisfied an allocation request."""
+
+
+class GlueAllocator:
+    """Linear-scan allocator over the free bytes of a :class:`MemoryImage`.
+
+    Parameters
+    ----------
+    image:
+        The image being built.
+    start:
+        First address considered for glue (low addresses are popular
+        pinning targets — e.g. every negative-glitch test wants byte 0 —
+        so glue starts above them by default).
+    avoid:
+        Lookahead set of addresses future tests will pin.
+    """
+
+    def __init__(
+        self,
+        image: MemoryImage,
+        start: int = 0x020,
+        avoid: Optional[Iterable[int]] = None,
+    ):
+        self.image = image
+        self.start = start % image.size
+        self._cursor = self.start
+        self.avoid: Set[int] = set(a % image.size for a in (avoid or ()))
+
+    def add_avoid(self, addresses: Iterable[int]) -> None:
+        """Extend the lookahead set."""
+        self.avoid.update(a % self.image.size for a in addresses)
+
+    def _usable(self, address: int) -> bool:
+        return self.image.is_free(address) and address not in self.avoid
+
+    def alloc_run(self, length: int) -> int:
+        """Return the start of a free run of ``length`` bytes.
+
+        The scan moves forward from an internal cursor and wraps once;
+        the run itself never wraps past the end of memory.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        size = self.image.size
+        scanned = 0
+        address = self._cursor
+        while scanned < size:
+            if address + length <= size and all(
+                self._usable(address + k) for k in range(length)
+            ):
+                self._cursor = address + length
+                return address
+            address += 1
+            scanned += 1
+            if address >= size:
+                address = 0
+        raise AllocationError(f"no free run of {length} bytes")
+
+    def alloc_byte(self) -> int:
+        """Return one free byte address."""
+        return self.alloc_run(1)
+
+    def alloc_run_constrained(
+        self,
+        length: int,
+        page: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> int:
+        """A free run whose *start address* has the given page/offset.
+
+        Used by the adaptive trailing jumps: when one byte of a ``JMP``
+        is already fixed by an overlapping test, the jump can still be
+        emitted by steering its glue target into the page (and/or onto
+        the offset) the fixed byte encodes.
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if page is None and offset is None:
+            return self.alloc_run(length)
+        size = self.image.size
+        page_count = size >> 8
+        pages = [page] if page is not None else list(range(page_count))
+        offsets = [offset] if offset is not None else list(range(256))
+        for candidate_page in pages:
+            for candidate_offset in offsets:
+                start = (candidate_page << 8) | candidate_offset
+                if start + length > size:
+                    continue
+                if all(self._usable(start + k) for k in range(length)):
+                    return start
+        raise AllocationError(
+            f"no free run of {length} bytes at page={page} offset={offset}"
+        )
+
+    def find_operand_page(
+        self, offset: int, content: int, avoid_pages: Iterable[int] = ()
+    ) -> int:
+        """Find a page ``p`` so that ``p:offset`` can hold ``content``.
+
+        Used by the data-bus builders: a test needs *some* memory cell
+        whose offset is the first test vector and whose content is the
+        second (Section 4.1 — "load from an address with a specific
+        offset containing a specific data").  Pages whose cell is free
+        and outside the lookahead set are preferred; sharing an existing
+        equal byte is the fallback.
+        """
+        page_count = self.image.size >> 8
+        skip = set(avoid_pages)
+        candidates = [p for p in range(page_count) if p not in skip]
+        # First choice: free and not pinned by a future test.
+        for page in candidates:
+            address = (page << 8) | offset
+            if self._usable(address):
+                return page
+        # Second choice: already holds exactly the needed value.
+        for page in candidates:
+            address = (page << 8) | offset
+            if self.image.value_at(address) == content:
+                return page
+        raise AllocationError(
+            f"no page offers offset {offset:#04x} for content {content:#04x}"
+        )
+
+    def find_writable_page(
+        self, offset: int, avoid_pages: Iterable[int] = ()
+    ) -> int:
+        """Find a page ``p`` whose cell ``p:offset`` is free to be *written*.
+
+        Used by the CPU-to-memory data-bus tests (Section 4.1): the test's
+        ``STA`` overwrites the cell at run time, so the cell cannot be
+        shared with any read-only placement.
+        """
+        page_count = self.image.size >> 8
+        skip = set(avoid_pages)
+        for page in range(page_count):
+            if page in skip:
+                continue
+            address = (page << 8) | offset
+            if self._usable(address):
+                return page
+        raise AllocationError(f"no writable cell with offset {offset:#04x}")

@@ -1,0 +1,297 @@
+"""Program assembly state shared by the test-fragment builders.
+
+A self-test program is a chain of *fragments*: the entry fragment runs
+first, each fragment ends by jumping to the next, and the final fragment
+is a self-loop ``JMP`` (the halt convention).  Address-bus fragments live
+at pinned addresses; everything else is placed in free "glue" space.
+
+Fragments are built **backward** — halt first, entry last — so that every
+fragment's trailing jump target is already known when the fragment is
+placed.  That keeps all placed bytes concrete, which in turn lets the
+builders *adopt* bytes planted by earlier-built tests (the paper's trick
+for dissolving address conflicts: an "arbitrary" offset or marker byte
+takes whatever value a colliding placement already fixed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.allocator import AllocationError, GlueAllocator
+from repro.core.image import ConflictError, MemoryImage
+from repro.isa.encoding import Instruction, encode
+from repro.isa.instructions import Mnemonic
+
+
+@dataclass
+class DeferredMarkerPair:
+    """A pass/fail marker pair whose values are resolved after all tests
+    have placed their pinned bytes.
+
+    Deferring lets a marker adopt a byte that a *later-built* test pins at
+    the same address (e.g. the rising-delay pass marker of line *k* lives
+    exactly where the falling-delay test of line *k* puts its offset
+    byte).  If resolution ends with both markers equal, the test is
+    recorded as *weak*: it stays in the program but cannot distinguish
+    its own pass/fail responses.
+    """
+
+    owner: str
+    pass_address: int
+    fail_address: int
+    pass_preferred: int
+    fail_preferred: int
+
+
+class ProgramAssembly:
+    """Mutable state of one self-test program under construction."""
+
+    def __init__(
+        self,
+        memory_size: int = 4096,
+        glue_start: int = 0x020,
+        avoid: Optional[Iterable[int]] = None,
+    ):
+        self.image = MemoryImage(memory_size)
+        self.allocator = GlueAllocator(self.image, start=glue_start, avoid=avoid)
+        #: Entry of the most recently built fragment — the jump target for
+        #: the next fragment built (backward chaining).
+        self.next_entry: Optional[int] = None
+        self.response_addresses: List[int] = []
+        self.deferred_markers: List[DeferredMarkerPair] = []
+        #: Cells reserved for deferred markers: kept out of glue space
+        #: but available to placements (markers adopt whatever lands).
+        self.marker_addresses: set = set()
+        #: Owners whose deferred markers resolved to equal values.
+        self.weak_tests: List[str] = []
+
+    # -- emission helpers ----------------------------------------------------
+
+    def emit_code_at(
+        self,
+        address: int,
+        instructions: Iterable[Instruction],
+        owner: str,
+        role: str = "code",
+    ) -> int:
+        """Place encoded ``instructions`` starting at ``address``.
+
+        Returns the address just past the emitted code.  Raises
+        :class:`~repro.core.image.ConflictError` when any byte collides.
+        """
+        cursor = address
+        for instruction in instructions:
+            for byte in encode(instruction):
+                self.image.place(cursor, byte, owner, role)
+                cursor += 1
+        return cursor
+
+    def emit_code(
+        self,
+        instructions: List[Instruction],
+        owner: str,
+        role: str = "code",
+    ) -> int:
+        """Place ``instructions`` in glue space; returns the start address."""
+        length = sum(instruction.length for instruction in instructions)
+        start = self.allocator.alloc_run(length)
+        self.emit_code_at(start, instructions, owner, role)
+        return start
+
+    def jump_to_next(self) -> Instruction:
+        """A ``JMP`` to the previously built fragment."""
+        if self.next_entry is None:
+            raise RuntimeError("no fragment built yet (build the halt first)")
+        return Instruction(Mnemonic.JMP, operand=self.next_entry)
+
+    def new_response_byte(self, owner: str) -> int:
+        """Allocate one exclusive response cell (preset to 0x00).
+
+        Response cells are written at run time, so they must never be
+        shared with a byte another test expects to read.
+        """
+        address = self.allocator.alloc_byte()
+        self.image.place(address, 0x00, owner, role="response", exclusive=True)
+        self.response_addresses.append(address)
+        return address
+
+    def emit_trailing_jump(
+        self,
+        address: int,
+        owner: str,
+        body: List[Instruction],
+    ) -> int:
+        """Emit ``JMP glue`` at ``address`` with ``glue = body + JMP next``.
+
+        The two jump bytes at ``address``/``address+1`` may already be
+        pinned by an overlapping test.  Instead of giving up, the glue
+        stub's location is *steered* so the jump encodes to exactly the
+        pre-placed byte values:
+
+        * a fixed first byte must look like a direct ``JMP`` (``0x80|p``),
+          which pins the glue's page to ``p``;
+        * a fixed second byte pins the glue's in-page offset.
+
+        This dissolves a whole class of the paper's address conflicts
+        (two tests whose pinned windows overlap by one or two jump
+        bytes).  Returns the glue address.
+        """
+        size = self.image.size
+        first = self.image.value_at(address)
+        second = self.image.value_at((address + 1) % size)
+        page = None
+        offset = None
+        if first is not None:
+            if not 0x80 <= first <= 0x8F:
+                placed = self.image.provenance()[address % size]
+                raise ConflictError(address % size, placed, first, owner)
+            page = first & 0x0F
+        if second is not None:
+            offset = second
+        glue_length = sum(instruction.length for instruction in body) + 2
+        glue = self._alloc_glue(glue_length, page, offset)
+        self.emit_code_at(glue, body + [self.jump_to_next()], owner, role="glue")
+        self.emit_code_at(
+            address,
+            [Instruction(Mnemonic.JMP, operand=glue)],
+            owner,
+            role="pinned jmp",
+        )
+        return glue
+
+    def _alloc_glue(
+        self, length: int, page: Optional[int], offset: Optional[int]
+    ) -> int:
+        """Allocate a glue run, preferring jump-encodable start offsets.
+
+        When nothing constrains the location, the run is preferentially
+        placed at an in-page offset of 0x80-0x8F.  Then, if a *later*
+        test's window overlaps this fragment's ``JMP`` such that our
+        second jump byte (the glue offset) lands where that test needs a
+        jump *opcode*, the byte already reads as a valid direct ``JMP``
+        (0x80|page) and the later test can steer its own glue into the
+        matching page instead of conflicting.
+        """
+        if page is None and offset is None:
+            for preferred_offset in range(0x80, 0x90):
+                try:
+                    return self.allocator.alloc_run_constrained(
+                        length, None, preferred_offset
+                    )
+                except AllocationError:
+                    continue
+            return self.allocator.alloc_run(length)
+        return self.allocator.alloc_run_constrained(length, page, offset)
+
+    # -- deferred markers ------------------------------------------------------
+
+    def defer_marker_pair(
+        self,
+        owner: str,
+        pass_address: int,
+        fail_address: int,
+        pass_preferred: int,
+        fail_preferred: int,
+    ) -> None:
+        """Register a pass/fail marker pair for end-of-build resolution.
+
+        The two addresses are added to the allocator's lookahead set so
+        glue never squats on them; values are fixed by
+        :meth:`resolve_deferred_markers`.
+        """
+        size = self.image.size
+        self.deferred_markers.append(
+            DeferredMarkerPair(
+                owner=owner,
+                pass_address=pass_address % size,
+                fail_address=fail_address % size,
+                pass_preferred=pass_preferred,
+                fail_preferred=fail_preferred,
+            )
+        )
+        self.marker_addresses.update((pass_address % size, fail_address % size))
+        self.allocator.add_avoid((pass_address, fail_address))
+
+    def resolve_deferred_markers(self) -> None:
+        """Fix the values of all deferred marker pairs.
+
+        Free marker cells receive their preferred values; cells fixed by
+        other tests are adopted as-is.  A pair whose two cells ended up
+        equal makes its test *weak* (recorded in :attr:`weak_tests`) —
+        the test stays in the program but its own response cannot
+        distinguish pass from fail.
+        """
+        for pair in self.deferred_markers:
+            pass_value = self.image.value_at(pair.pass_address)
+            fail_value = self.image.value_at(pair.fail_address)
+            if pass_value is None:
+                avoid = (fail_value,) if fail_value is not None else ()
+                pass_value = self.image.place_flexible(
+                    pair.pass_address,
+                    pair.owner,
+                    role="pass marker",
+                    preferred=pair.pass_preferred,
+                    avoid=avoid,
+                )
+            if fail_value is None:
+                fail_value = self.image.place_flexible(
+                    pair.fail_address,
+                    pair.owner,
+                    role="fail marker",
+                    preferred=pair.fail_preferred,
+                    avoid=(pass_value,),
+                )
+            if pass_value == fail_value:
+                self.weak_tests.append(pair.owner)
+
+    # -- fragment lifecycle ----------------------------------------------------
+
+    def build_halt(self, owner: str = "halt") -> int:
+        """Create the final self-loop fragment; returns its address."""
+        address = self.allocator.alloc_run(2)
+        self.emit_code_at(
+            address,
+            [Instruction(Mnemonic.JMP, operand=address)],
+            owner,
+            role="halt",
+        )
+        self.next_entry = address
+        return address
+
+    def finish_fragment(self, entry: int) -> None:
+        """Register a successfully built fragment as the new chain head."""
+        self.next_entry = entry
+
+    def transaction_state(self) -> tuple:
+        """Snapshot for transactional fragment placement."""
+        return (
+            self.image.snapshot_state(),
+            self.allocator._cursor,
+            set(self.allocator.avoid),
+            self.next_entry,
+            len(self.response_addresses),
+            len(self.deferred_markers),
+        )
+
+    def rollback(self, state: tuple) -> None:
+        """Undo every placement since the matching snapshot."""
+        (
+            image_state,
+            cursor,
+            avoid,
+            next_entry,
+            response_count,
+            marker_count,
+        ) = state
+        self.image.restore_state(image_state)
+        self.allocator._cursor = cursor
+        self.allocator.avoid = avoid
+        self.next_entry = next_entry
+        del self.response_addresses[response_count:]
+        del self.deferred_markers[marker_count:]
+        self.marker_addresses = {
+            address
+            for pair in self.deferred_markers
+            for address in (pair.pass_address, pair.fail_address)
+        }

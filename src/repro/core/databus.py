@@ -1,0 +1,136 @@
+"""Data-bus MA test fragments (paper Sections 4.1 and 4.3).
+
+Memory-to-CPU tests ride the ``M[Ai+1] -> M[Ax]`` transition inside a
+load: the load's own offset byte is the first test vector ``v1``, and the
+operand cell's content is the second vector ``v2`` — so the test needs a
+memory cell at *some* page with offset ``v1`` holding ``v2`` ("load from
+an address with a specific offset containing a specific data").
+
+CPU-to-memory tests ride the ``M[Ai+1] -> AC`` transition inside a store:
+the store's offset byte is ``v1`` and the accumulator (pre-loaded with
+``v2``) is driven onto the bus by the CPU.  The stored cell doubles as
+the response location.
+
+Response compaction (Section 4.3, Fig. 8) replaces per-test
+``LDA``/``STA`` pairs with a ``CLA`` followed by one ``ADD`` per test —
+``ADD`` has the same two-byte layout and bus timing as ``LDA`` — and one
+final ``STA`` of the accumulated signature.  For the rising-delay family
+the per-test contributions are one-hot, so the pass signature is 0xFF and
+a zero bit names the failing test, exactly as in the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.addrbus import FragmentInfo
+from repro.core.assembly import ProgramAssembly
+from repro.core.maf import MAFault, ma_vector_pair
+from repro.isa.encoding import Instruction, make_address
+from repro.isa.instructions import Mnemonic
+from repro.soc.bus import BusDirection
+
+
+def _check_direction(fault: MAFault, expected: BusDirection) -> None:
+    if fault.direction is not expected:
+        raise ValueError(
+            f"{fault.name}: expected a {expected.value} data-bus fault"
+        )
+
+
+def build_read_test(assembly: ProgramAssembly, fault: MAFault) -> FragmentInfo:
+    """One memory-to-CPU data-bus test: ``LDA p:v1`` / ``STA resp``."""
+    _check_direction(fault, BusDirection.MEM_TO_CPU)
+    pair = ma_vector_pair(fault)
+    owner = fault.name
+    page = assembly.allocator.find_operand_page(offset=pair.v1, content=pair.v2)
+    operand = make_address(page, pair.v1)
+    assembly.image.place(operand, pair.v2, owner, role="dbus operand")
+    response = assembly.new_response_byte(owner)
+    entry = assembly.emit_code(
+        [
+            Instruction(Mnemonic.LDA, operand=operand),
+            Instruction(Mnemonic.STA, operand=response),
+            assembly.jump_to_next(),
+        ],
+        owner,
+    )
+    return FragmentInfo(
+        entry=entry,
+        responses=(response,),
+        technique="data/read",
+        faults=(fault,),
+    )
+
+
+def build_read_group_compacted(
+    assembly: ProgramAssembly, faults: Sequence[MAFault]
+) -> FragmentInfo:
+    """A compacted memory-to-CPU group: ``CLA``, one ``ADD`` per test,
+    one ``STA`` of the accumulated signature (Fig. 8)."""
+    if not faults:
+        raise ValueError("a compaction group needs at least one fault")
+    for fault in faults:
+        _check_direction(fault, BusDirection.MEM_TO_CPU)
+    owner = "+".join(fault.name for fault in faults)
+    instructions: List[Instruction] = [Instruction(Mnemonic.CLA)]
+    used_pages: List[int] = []
+    for fault in faults:
+        pair = ma_vector_pair(fault)
+        # Each test needs its own cell; two tests of one group may share
+        # the same offset (e.g. all positive-glitch v1 are 0x00), so the
+        # pages already claimed by this group are excluded.
+        page = assembly.allocator.find_operand_page(
+            offset=pair.v1, content=pair.v2, avoid_pages=used_pages
+        )
+        used_pages.append(page)
+        operand = make_address(page, pair.v1)
+        assembly.image.place(operand, pair.v2, fault.name, role="dbus operand")
+        instructions.append(Instruction(Mnemonic.ADD, operand=operand))
+    response = assembly.new_response_byte(owner)
+    instructions.append(Instruction(Mnemonic.STA, operand=response))
+    instructions.append(assembly.jump_to_next())
+    entry = assembly.emit_code(instructions, owner)
+    return FragmentInfo(
+        entry=entry,
+        responses=(response,),
+        technique="data/read-compacted",
+        faults=tuple(faults),
+    )
+
+
+def build_write_test(assembly: ProgramAssembly, fault: MAFault) -> FragmentInfo:
+    """One CPU-to-memory data-bus test: ``LDA src`` / ``STA p:v1``.
+
+    The store drives ``v2`` (the accumulator) onto the data bus right
+    after its own offset byte ``v1`` was fetched, producing the
+    ``v1 -> v2`` transition with the CPU driving the second vector.  The
+    written cell is the response: under a healthy bus it holds ``v2``
+    afterwards; a corrupted ``v2`` (or a corrupted store address) makes
+    the final memory differ from the golden image.
+    """
+    _check_direction(fault, BusDirection.CPU_TO_MEM)
+    pair = ma_vector_pair(fault)
+    owner = fault.name
+    source = assembly.allocator.alloc_byte()
+    assembly.image.place(source, pair.v2, owner, role="dbus source")
+    page = assembly.allocator.find_writable_page(offset=pair.v1)
+    target = make_address(page, pair.v1)
+    assembly.image.place(
+        target, 0x00, owner, role="dbus write target", exclusive=True
+    )
+    assembly.response_addresses.append(target)
+    entry = assembly.emit_code(
+        [
+            Instruction(Mnemonic.LDA, operand=source),
+            Instruction(Mnemonic.STA, operand=target),
+            assembly.jump_to_next(),
+        ],
+        owner,
+    )
+    return FragmentInfo(
+        entry=entry,
+        responses=(target,),
+        technique="data/write",
+        faults=(fault,),
+    )

@@ -1,0 +1,179 @@
+"""Fault diagnosis from test responses (paper Section 4.3).
+
+The compaction scheme was designed "without losing any diagnostic
+information": each test of a compacted family contributes a one-hot
+value, so "the position of the '0' bit tells which test failed".  This
+module generalizes that idea to every response the self-test programs
+produce:
+
+* an individual response cell diverging from the golden value implicates
+  the test that owns the cell;
+* a diverged compacted signature implicates, per flipped bit, the family
+  test whose one-hot contribution carries that bit;
+* a run that never halts implicates nothing specific (the report flags
+  it instead).
+
+Aggregating the implicated tests' victims gives a per-wire suspicion
+vote — the data an off-chip tester would use to localize the defective
+interconnect.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.maf import MAFault, ma_vector_pair
+from repro.core.program_builder import AppliedTest, SelfTestProgram
+from repro.core.signature import GoldenReference
+from repro.soc.system import CpuMemorySystem
+
+
+@dataclass(frozen=True)
+class Implication:
+    """One piece of diagnostic evidence."""
+
+    fault: MAFault
+    response_address: int
+    expected: int
+    observed: int
+    via: str  # "cell" or "signature bit k"
+
+
+@dataclass
+class DiagnosisReport:
+    """Localization evidence extracted from one defective run."""
+
+    implications: List[Implication] = field(default_factory=list)
+    timed_out: bool = False
+    unattributed_cells: List[int] = field(default_factory=list)
+
+    @property
+    def suspected_faults(self) -> List[MAFault]:
+        """Faults implicated by at least one piece of evidence."""
+        seen = []
+        for implication in self.implications:
+            if implication.fault not in seen:
+                seen.append(implication.fault)
+        return seen
+
+    def victim_votes(self) -> Dict[int, int]:
+        """How often each wire's tests were implicated (0-based wires)."""
+        votes = Counter(
+            implication.fault.victim for implication in self.implications
+        )
+        return dict(votes)
+
+    def prime_suspect(self) -> Optional[int]:
+        """The wire with the most evidence (None without evidence)."""
+        votes = self.victim_votes()
+        if not votes:
+            return None
+        return max(votes, key=lambda wire: (votes[wire], -wire))
+
+
+def _response_owners(
+    program: SelfTestProgram,
+) -> Dict[int, List[AppliedTest]]:
+    owners: Dict[int, List[AppliedTest]] = {}
+    for test in program.applied:
+        for address in test.responses:
+            owners.setdefault(address, []).append(test)
+    return owners
+
+
+def _signature_bit_owner(
+    group: List[AppliedTest], bit: int
+) -> Optional[AppliedTest]:
+    """The group member whose contribution carries ``bit``.
+
+    Compaction adds each test's second vector into the signature; for
+    one-hot families the mapping bit -> test is exact, otherwise the
+    first contributor with that bit set is blamed (best effort, as in
+    the paper's diagnosis discussion).
+    """
+    for test in group:
+        if ma_vector_pair(test.fault).v2 & (1 << bit):
+            return test
+    return None
+
+
+def diagnose(
+    program: SelfTestProgram,
+    golden: GoldenReference,
+    system: CpuMemorySystem,
+    halted: bool = True,
+) -> DiagnosisReport:
+    """Extract localization evidence from a finished defective run."""
+    report = DiagnosisReport(timed_out=not halted)
+    if not halted:
+        return report
+    owners = _response_owners(program)
+    snapshot = system.memory.snapshot()
+    for address, group in owners.items():
+        expected = golden.snapshot[address]
+        observed = snapshot[address]
+        if expected == observed:
+            continue
+        if len(group) == 1:
+            report.implications.append(
+                Implication(
+                    fault=group[0].fault,
+                    response_address=address,
+                    expected=expected,
+                    observed=observed,
+                    via="cell",
+                )
+            )
+            continue
+        # Compacted signature: blame per flipped bit.
+        flipped = expected ^ observed
+        blamed_any = False
+        for bit in range(8):
+            if not flipped & (1 << bit):
+                continue
+            owner = _signature_bit_owner(group, bit)
+            if owner is None:
+                continue
+            blamed_any = True
+            report.implications.append(
+                Implication(
+                    fault=owner.fault,
+                    response_address=address,
+                    expected=expected,
+                    observed=observed,
+                    via=f"signature bit {bit}",
+                )
+            )
+        if not blamed_any:
+            report.unattributed_cells.append(address)
+    # Divergence outside known response cells (e.g. a corrupted store
+    # address) is recorded but not attributed.
+    for address, (expected, observed) in system.memory.diff(
+        golden.snapshot
+    ).items():
+        if address not in owners:
+            report.unattributed_cells.append(address)
+    return report
+
+
+def diagnosis_accuracy(
+    reports_and_defects: List[Tuple[DiagnosisReport, Tuple[int, ...]]],
+) -> float:
+    """Fraction of diagnosable runs whose prime suspect is a defective
+    wire or its direct neighbour (coupling defects straddle two wires)."""
+    hits = 0
+    total = 0
+    for report, defective_wires in reports_and_defects:
+        suspect = report.prime_suspect()
+        if suspect is None:
+            continue
+        total += 1
+        near = set(defective_wires)
+        near |= {w + 1 for w in defective_wires} | {
+            w - 1 for w in defective_wires
+        }
+        if suspect in near:
+            hits += 1
+    return hits / total if total else 0.0

@@ -1,0 +1,226 @@
+"""Conflict-checked memory image with byte provenance.
+
+Address-bus MA tests pin instruction and marker bytes at *specific*
+addresses (the vector values themselves), so independently-constructed
+tests can demand different values for the same byte — the paper's
+"address conflicts" that kept 7 of 48 address-bus tests out of the single
+test program.  :class:`MemoryImage` makes those collisions explicit:
+
+* placing the same value twice is sharing (allowed — the builders lean on
+  it heavily, e.g. all negative-glitch tests share the planted opcode at
+  address 0);
+* placing a different value raises :class:`ConflictError`;
+* a byte can be *reserved* with its value pending (a jump whose target is
+  not yet known) and patched later; reserved bytes never share.
+
+The image also supports snapshot/restore so a test's placements can be
+applied transactionally and rolled back when a conflict surfaces midway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PlacedByte:
+    """One byte of the image plus its provenance.
+
+    ``value`` is ``None`` while the byte is reserved-but-unpatched.
+    ``exclusive`` bytes (run-time written cells such as test responses)
+    never participate in same-value sharing.
+    """
+
+    value: Optional[int]
+    owners: List[str] = field(default_factory=list)
+    role: str = ""
+    exclusive: bool = False
+
+
+class ConflictError(Exception):
+    """Two placements demanded different values for the same byte."""
+
+    def __init__(self, address: int, existing: PlacedByte, wanted: int, owner: str):
+        self.address = address
+        self.existing = existing
+        self.wanted = wanted
+        self.owner = owner
+        held = "pending" if existing.value is None else f"{existing.value:#04x}"
+        super().__init__(
+            f"address {address:#05x}: {owner} wants {wanted:#04x} but "
+            f"{'/'.join(existing.owners)} holds {held} ({existing.role})"
+        )
+
+
+class MemoryImage:
+    """A sparse, provenance-tracked, conflict-checked program image."""
+
+    def __init__(self, size: int = 4096):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self._bytes: Dict[int, PlacedByte] = {}
+
+    def __len__(self) -> int:
+        return len(self._bytes)
+
+    def __contains__(self, address: int) -> bool:
+        return (address % self.size) in self._bytes
+
+    def _wrap(self, address: int) -> int:
+        return address % self.size
+
+    def value_at(self, address: int) -> Optional[int]:
+        """Value placed at ``address`` (None if free or pending)."""
+        placed = self._bytes.get(self._wrap(address))
+        return placed.value if placed else None
+
+    def owner_at(self, address: int) -> Optional[str]:
+        """First owner of the byte at ``address`` (None if free)."""
+        placed = self._bytes.get(self._wrap(address))
+        return placed.owners[0] if placed and placed.owners else None
+
+    def is_free(self, address: int) -> bool:
+        """True if nothing was placed or reserved at ``address``."""
+        return self._wrap(address) not in self._bytes
+
+    def place(
+        self,
+        address: int,
+        value: int,
+        owner: str,
+        role: str = "",
+        exclusive: bool = False,
+    ) -> None:
+        """Place ``value`` at ``address``.
+
+        Same-value sharing is allowed unless either side is ``exclusive``
+        (a cell that will be written at run time must not double as
+        another test's read-only data).
+        """
+        if not 0 <= value < 256:
+            raise ValueError(f"byte out of range: {value}")
+        address = self._wrap(address)
+        existing = self._bytes.get(address)
+        if existing is None:
+            self._bytes[address] = PlacedByte(
+                value=value, owners=[owner], role=role, exclusive=exclusive
+            )
+            return
+        if existing.value != value or existing.exclusive or exclusive:
+            raise ConflictError(address, existing, value, owner)
+        existing.owners.append(owner)
+
+    def reserve(self, address: int, owner: str, role: str = "") -> None:
+        """Reserve ``address`` with a pending value (no sharing allowed)."""
+        address = self._wrap(address)
+        existing = self._bytes.get(address)
+        if existing is not None:
+            raise ConflictError(address, existing, -1, owner)
+        self._bytes[address] = PlacedByte(value=None, owners=[owner], role=role)
+
+    def patch(self, address: int, value: int, owner: str) -> None:
+        """Fill a previously reserved byte."""
+        if not 0 <= value < 256:
+            raise ValueError(f"byte out of range: {value}")
+        address = self._wrap(address)
+        existing = self._bytes.get(address)
+        if existing is None or existing.value is not None:
+            raise ValueError(f"address {address:#05x} is not pending a patch")
+        if owner not in existing.owners:
+            raise ValueError(f"{owner} does not own reserved byte {address:#05x}")
+        existing.value = value
+
+    def place_flexible(
+        self,
+        address: int,
+        owner: str,
+        role: str = "",
+        preferred: int = 0x01,
+        avoid: Tuple[int, ...] = (),
+        allowed: Optional[Tuple[int, ...]] = None,
+    ) -> int:
+        """Place a byte whose exact value the caller does not care about.
+
+        If the byte already holds a value, that value is *adopted* (the
+        paper's trick of reusing whatever a colliding test planted, e.g.
+        an arbitrary address offset).  Otherwise ``preferred`` is placed,
+        bumped past any values in ``avoid``.  When ``allowed`` is given,
+        only those values are acceptable (both for adoption and for fresh
+        placement).
+
+        Returns the value now at ``address``.  Raises
+        :class:`ConflictError` if adoption is impossible (the existing
+        value is in ``avoid`` / outside ``allowed``, or the byte is
+        reserved-pending or exclusive).
+        """
+        address = self._wrap(address)
+        existing = self._bytes.get(address)
+        if existing is not None:
+            unacceptable = (
+                existing.value is None
+                or existing.value in avoid
+                or existing.exclusive
+                or (allowed is not None and existing.value not in allowed)
+            )
+            if unacceptable:
+                held = existing.value if existing.value is not None else -1
+                raise ConflictError(address, existing, held, owner)
+            existing.owners.append(owner)
+            return existing.value
+        if allowed is not None:
+            candidates = [v for v in allowed if v not in avoid]
+            if not candidates:
+                raise ConflictError(
+                    address, PlacedByte(value=None, owners=[owner]), -1, owner
+                )
+            value = preferred if preferred in candidates else candidates[0]
+        else:
+            value = preferred & 0xFF
+            while value in avoid:
+                value = (value + 1) & 0xFF
+        self._bytes[address] = PlacedByte(value=value, owners=[owner], role=role)
+        return value
+
+    # -- transactions -------------------------------------------------------
+
+    def snapshot_state(
+        self,
+    ) -> Dict[int, Tuple[Optional[int], Tuple[str, ...], str, bool]]:
+        """Cheap copy of the image state for transactional placement."""
+        return {
+            address: (placed.value, tuple(placed.owners), placed.role, placed.exclusive)
+            for address, placed in self._bytes.items()
+        }
+
+    def restore_state(
+        self, state: Dict[int, Tuple[Optional[int], Tuple[str, ...], str, bool]]
+    ) -> None:
+        """Roll the image back to a prior :meth:`snapshot_state`."""
+        self._bytes = {
+            address: PlacedByte(
+                value=value, owners=list(owners), role=role, exclusive=exclusive
+            )
+            for address, (value, owners, role, exclusive) in state.items()
+        }
+
+    # -- export ---------------------------------------------------------------
+
+    def as_dict(self) -> Dict[int, int]:
+        """The image as ``address -> byte`` (every reservation patched).
+
+        Raises
+        ------
+        ValueError
+            If any reserved byte was never patched.
+        """
+        pending = [a for a, p in self._bytes.items() if p.value is None]
+        if pending:
+            listing = ", ".join(f"{a:#05x}" for a in sorted(pending))
+            raise ValueError(f"unpatched reserved bytes: {listing}")
+        return {address: placed.value for address, placed in self._bytes.items()}
+
+    def provenance(self) -> Dict[int, PlacedByte]:
+        """Read-only view of the full provenance map."""
+        return dict(self._bytes)

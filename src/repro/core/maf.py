@@ -1,0 +1,161 @@
+"""The Maximum Aggressor Fault (MAF) model and MA tests (paper Section 2).
+
+A MAF abstracts every physical defect that produces one of four crosstalk
+error effects on one victim wire: positive glitch, negative glitch, rising
+delay, falling delay.  Its (unique) Maximum Aggressor test is a two-vector
+pair putting the victim in the sensitized state while *all* other wires —
+the aggressors — switch together the error-producing way (Fig. 1):
+
+=================  ==========  ============  ======================
+fault              victim      aggressors    vector pair (v1, v2)
+=================  ==========  ============  ======================
+positive glitch    stable 0    rising        (0...0, 1...101...1)
+negative glitch    stable 1    falling       (1...1, 0...010...0)
+rising delay       0 -> 1      falling       (~bit_k, bit_k)
+falling delay      1 -> 0      rising        (bit_k, ~bit_k)
+=================  ==========  ============  ======================
+
+For an N-wire bus that is 4N faults; a bidirectional bus doubles this, as
+the tests must be applied per driving direction (Section 3.1).
+
+Wire numbering: wire ``k`` is bit ``k`` of the bus word; the paper's
+"line i" is wire ``i - 1``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.soc.bus import BusDirection
+
+
+class FaultType(enum.Enum):
+    """The four MAF error effects."""
+
+    POSITIVE_GLITCH = "gp"
+    NEGATIVE_GLITCH = "gn"
+    RISING_DELAY = "dr"
+    FALLING_DELAY = "df"
+
+    @property
+    def is_glitch(self) -> bool:
+        """True for the two glitch fault types."""
+        return self in (FaultType.POSITIVE_GLITCH, FaultType.NEGATIVE_GLITCH)
+
+    @property
+    def is_delay(self) -> bool:
+        """True for the two delay fault types."""
+        return not self.is_glitch
+
+
+@dataclass(frozen=True)
+class VectorPair:
+    """A two-vector MA test ``(v1, v2)`` on a ``width``-bit bus."""
+
+    v1: int
+    v2: int
+    width: int
+
+    def __post_init__(self):
+        limit = 1 << self.width
+        if not (0 <= self.v1 < limit and 0 <= self.v2 < limit):
+            raise ValueError("vectors do not fit the bus width")
+
+    def __str__(self) -> str:
+        return (
+            f"({self.v1:0{self.width}b}, {self.v2:0{self.width}b})"
+        )
+
+
+@dataclass(frozen=True)
+class MAFault:
+    """One Maximum Aggressor Fault.
+
+    ``direction`` is ``None`` for unidirectional buses (the address bus)
+    and a :class:`~repro.soc.bus.BusDirection` for the bidirectional data
+    bus, where the same victim/effect pair exists once per direction.
+    """
+
+    victim: int
+    fault_type: FaultType
+    width: int
+    direction: Optional[BusDirection] = None
+
+    def __post_init__(self):
+        if not 0 <= self.victim < self.width:
+            raise ValueError("victim out of range")
+
+    @property
+    def line(self) -> int:
+        """The paper's 1-based line number of the victim."""
+        return self.victim + 1
+
+    @property
+    def name(self) -> str:
+        """Short identifier, e.g. ``"gp/line4"`` or ``"dr/line8/mem_to_cpu"``."""
+        base = f"{self.fault_type.value}/line{self.line}"
+        if self.direction is not None:
+            return f"{base}/{self.direction.value}"
+        return base
+
+
+def ma_vector_pair(fault: MAFault) -> VectorPair:
+    """The unique MA test vector pair for ``fault`` (Fig. 1)."""
+    ones = (1 << fault.width) - 1
+    bit = 1 << fault.victim
+    if fault.fault_type is FaultType.POSITIVE_GLITCH:
+        return VectorPair(0, ones & ~bit, fault.width)
+    if fault.fault_type is FaultType.NEGATIVE_GLITCH:
+        return VectorPair(ones, bit, fault.width)
+    if fault.fault_type is FaultType.RISING_DELAY:
+        return VectorPair(ones & ~bit, bit, fault.width)
+    return VectorPair(bit, ones & ~bit, fault.width)  # falling delay
+
+
+def enumerate_bus_faults(
+    width: int, directions: Tuple[Optional[BusDirection], ...] = (None,)
+) -> List[MAFault]:
+    """Enumerate every MAF of a ``width``-bit bus.
+
+    For the paper's demonstrator:
+
+    * address bus: ``enumerate_bus_faults(12)`` — 48 faults;
+    * data bus: ``enumerate_bus_faults(8, (BusDirection.MEM_TO_CPU,
+      BusDirection.CPU_TO_MEM))`` — 64 faults.
+
+    Ordered by direction, then victim line, then fault type — the order
+    the program builder applies them in.
+    """
+    faults = []
+    for direction in directions:
+        for victim in range(width):
+            for fault_type in FaultType:
+                faults.append(
+                    MAFault(
+                        victim=victim,
+                        fault_type=fault_type,
+                        width=width,
+                        direction=direction,
+                    )
+                )
+    return faults
+
+
+def corrupted_vector(fault: MAFault) -> int:
+    """The second vector as the receiver samples it when the fault is
+    present: the victim bit glitched or held at its old value.
+
+    For glitch faults the victim bit flips; for delay faults it reverts to
+    its ``v1`` value.  (Used to compute the corrupted address ``v2'`` in
+    the paper's address-bus response planning, Section 3.2.)
+    """
+    pair = ma_vector_pair(fault)
+    bit = 1 << fault.victim
+    if fault.fault_type is FaultType.POSITIVE_GLITCH:
+        return pair.v2 | bit
+    if fault.fault_type is FaultType.NEGATIVE_GLITCH:
+        return pair.v2 & ~bit
+    # Delay: the victim is sampled at its v1 value.
+    return (pair.v2 & ~bit) | (pair.v1 & bit)

@@ -1,0 +1,348 @@
+"""Whole self-test-program construction (paper Section 4).
+
+The builder turns a set of MAFs into one executable program image:
+
+* every applicable address-bus fault gets a pinned fragment
+  (:mod:`repro.core.addrbus`),
+* data-bus faults get relocatable fragments, with memory-to-CPU families
+  compacted per Section 4.3 (:mod:`repro.core.databus`),
+* fragments are chained with ``JMP``s and terminated by the self-loop
+  halt.
+
+Tests whose pinned bytes collide with already-placed bytes are *skipped*
+with the conflict recorded — the paper's address conflicts ("multiple
+tests compete for the same instruction address"), which left 7 of the 48
+address-bus tests out of the authors' single program.  Skipped tests can
+be scheduled into follow-up sessions with :mod:`repro.core.sessions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.addrbus import (
+    FragmentInfo,
+    address_footprint,
+    fragment_variants,
+)
+from repro.core.allocator import AllocationError
+from repro.core.assembly import ProgramAssembly
+from repro.core.databus import (
+    build_read_group_compacted,
+    build_read_test,
+    build_write_test,
+)
+from repro.core.image import ConflictError
+from repro.core.maf import FaultType, MAFault, enumerate_bus_faults, ma_vector_pair
+from repro.isa.instructions import ADDR_BITS, DATA_BITS, MEMORY_SIZE
+from repro.soc.bus import BusDirection
+
+
+@dataclass(frozen=True)
+class AppliedTest:
+    """One MA test that made it into the program."""
+
+    fault: MAFault
+    technique: str
+    entry: int
+    responses: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SkippedTest:
+    """One MA test left out, with the conflict that excluded it."""
+
+    fault: MAFault
+    reason: str
+
+
+@dataclass
+class SelfTestProgram:
+    """A complete, loadable self-test program."""
+
+    image: Dict[int, int]
+    entry: int
+    memory_size: int
+    applied: List[AppliedTest] = field(default_factory=list)
+    skipped: List[SkippedTest] = field(default_factory=list)
+    response_addresses: List[int] = field(default_factory=list)
+    #: Tests whose deferred pass/fail markers resolved to equal values —
+    #: applied but unable to distinguish their own pass/fail response.
+    weak_tests: List[str] = field(default_factory=list)
+
+    @property
+    def program_size(self) -> int:
+        """Bytes occupied by the program image (code + pinned data)."""
+        return len(self.image)
+
+    @property
+    def applied_faults(self) -> List[MAFault]:
+        """The faults whose MA tests the program applies, in run order."""
+        return [test.fault for test in self.applied]
+
+    def applied_count(self, fault_type: Optional[FaultType] = None) -> int:
+        """Number of applied tests, optionally filtered by fault type."""
+        if fault_type is None:
+            return len(self.applied)
+        return sum(
+            1 for test in self.applied if test.fault.fault_type is fault_type
+        )
+
+
+#: Build priority of the address-bus fault families.  Rising-delay tests
+#: go first (fully value-fixed pinned windows); the glitch families
+#: follow, adopting delay-placed bytes where windows overlap.  The
+#: falling-delay tests go last: their one-instruction window coincides
+#: with the negative-glitch window of the same line (both need the byte
+#: at ``bit_k``), so one family must yield — df defers to follow-up
+#: sessions, mirroring the paper's conflict-deferral strategy.
+ADDRESS_FAMILY_ORDER = (
+    FaultType.RISING_DELAY,
+    FaultType.POSITIVE_GLITCH,
+    FaultType.NEGATIVE_GLITCH,
+    FaultType.FALLING_DELAY,
+)
+
+#: Execution order of the memory-to-CPU data-bus families.
+DATA_FAMILY_ORDER = (
+    FaultType.POSITIVE_GLITCH,
+    FaultType.NEGATIVE_GLITCH,
+    FaultType.RISING_DELAY,
+    FaultType.FALLING_DELAY,
+)
+
+
+class SelfTestProgramBuilder:
+    """Builds self-test programs for the CPU-memory demonstrator.
+
+    Parameters
+    ----------
+    memory_size / addr_width / data_width:
+        System dimensions (defaults: the paper's 4K / 12 / 8).
+    glue_start:
+        First address used for relocatable code and response bytes.
+    compact_data_bus:
+        Apply Section 4.3 response compaction to memory-to-CPU data-bus
+        families (falls back to individual tests when a whole group
+        cannot be placed).
+    """
+
+    def __init__(
+        self,
+        memory_size: int = MEMORY_SIZE,
+        addr_width: int = ADDR_BITS,
+        data_width: int = DATA_BITS,
+        glue_start: int = 0x020,
+        compact_data_bus: bool = True,
+        address_order: str = "family",
+    ):
+        if address_order not in ("family", "given"):
+            raise ValueError("address_order must be 'family' or 'given'")
+        self.memory_size = memory_size
+        self.addr_width = addr_width
+        self.data_width = data_width
+        self.glue_start = glue_start
+        self.compact_data_bus = compact_data_bus
+        #: "family" sorts address faults by ADDRESS_FAMILY_ORDER;
+        #: "given" preserves the caller's ordering (who-wins-a-contested-
+        #: byte is order-dependent, so callers can optimize).
+        self.address_order = address_order
+
+    # -- fault enumeration ---------------------------------------------------
+
+    def address_faults(self) -> List[MAFault]:
+        """All 4N MAFs of the unidirectional address bus."""
+        return enumerate_bus_faults(self.addr_width)
+
+    def data_faults(self) -> List[MAFault]:
+        """All 8N MAFs of the bidirectional data bus (both directions)."""
+        return enumerate_bus_faults(
+            self.data_width,
+            (BusDirection.MEM_TO_CPU, BusDirection.CPU_TO_MEM),
+        )
+
+    # -- program construction ---------------------------------------------------
+
+    def build(
+        self,
+        address_faults: Optional[Sequence[MAFault]] = None,
+        data_faults: Optional[Sequence[MAFault]] = None,
+    ) -> SelfTestProgram:
+        """Build one program applying as many of the given MA tests as
+        address conflicts allow.
+
+        Passing empty sequences builds bus-specific programs; ``None``
+        selects the full fault set of that bus.
+        """
+        if address_faults is None:
+            address_faults = self.address_faults()
+        if data_faults is None:
+            data_faults = self.data_faults()
+
+        avoid = set()
+        for fault in address_faults:
+            avoid |= address_footprint(fault, self.memory_size)
+        assembly = ProgramAssembly(
+            self.memory_size, glue_start=self.glue_start, avoid=avoid
+        )
+        assembly.build_halt()
+
+        applied: List[AppliedTest] = []
+        skipped: List[SkippedTest] = []
+
+        # Fragments are built in reverse execution order (backward
+        # chaining).  Address-bus tests are built first: their byte
+        # placements are pinned by the test vectors, so they get priority
+        # over the freely relocatable data-bus fragments.  The resulting
+        # execution order is data-write, data-read, address, halt.
+        self._build_address(assembly, address_faults, applied, skipped)
+        self._build_data_read(assembly, data_faults, applied, skipped)
+        self._build_data_write(assembly, data_faults, applied, skipped)
+        assembly.resolve_deferred_markers()
+
+        applied.reverse()
+        return SelfTestProgram(
+            image=assembly.image.as_dict(),
+            entry=assembly.next_entry,
+            memory_size=self.memory_size,
+            applied=applied,
+            skipped=skipped,
+            response_addresses=list(assembly.response_addresses),
+            weak_tests=list(assembly.weak_tests),
+        )
+
+    def build_address_bus_program(
+        self, faults: Optional[Sequence[MAFault]] = None
+    ) -> SelfTestProgram:
+        """A program testing only the address bus."""
+        return self.build(address_faults=faults, data_faults=())
+
+    def build_data_bus_program(
+        self, faults: Optional[Sequence[MAFault]] = None
+    ) -> SelfTestProgram:
+        """A program testing only the data bus."""
+        return self.build(address_faults=(), data_faults=faults)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _try_fragment(
+        self,
+        assembly: ProgramAssembly,
+        builder: Callable[[], FragmentInfo],
+    ) -> Tuple[Optional[FragmentInfo], str]:
+        """Attempt one fragment transactionally."""
+        state = assembly.transaction_state()
+        try:
+            info = builder()
+        except (ConflictError, AllocationError) as exc:
+            assembly.rollback(state)
+            return None, str(exc)
+        assembly.finish_fragment(info.entry)
+        return info, ""
+
+    def _build_address(
+        self,
+        assembly: ProgramAssembly,
+        faults: Sequence[MAFault],
+        applied: List[AppliedTest],
+        skipped: List[SkippedTest],
+    ) -> None:
+        address_faults = [f for f in faults if f.direction is None]
+        if self.address_order == "given":
+            ordered = address_faults
+        else:
+            # Line-major, family-priority within each line: empirically
+            # the strongest greedy order (contested bytes cluster per
+            # line, so deciding each line's winners together beats
+            # family-major sweeps).
+            rank = {family: i for i, family in enumerate(ADDRESS_FAMILY_ORDER)}
+            ordered = sorted(
+                address_faults,
+                key=lambda fault: (fault.victim, rank[fault.fault_type]),
+            )
+        # Build order here is *priority* order, not reverse execution
+        # order: backward chaining makes whatever is built first execute
+        # last, which is harmless, while priority decides who wins a
+        # contested byte.
+        for fault in ordered:
+            info = None
+            reasons = []
+            for variant in fragment_variants(fault):
+                info, reason = self._try_fragment(
+                    assembly, lambda v=variant: v(assembly)
+                )
+                if info is not None:
+                    break
+                reasons.append(reason)
+            if info is None:
+                skipped.append(SkippedTest(fault, " | ".join(reasons)))
+            else:
+                applied.append(
+                    AppliedTest(fault, info.technique, info.entry, info.responses)
+                )
+
+    def _build_data_read(
+        self,
+        assembly: ProgramAssembly,
+        faults: Sequence[MAFault],
+        applied: List[AppliedTest],
+        skipped: List[SkippedTest],
+    ) -> None:
+        read_faults = [
+            f for f in faults if f.direction is BusDirection.MEM_TO_CPU
+        ]
+        groups = [
+            [f for f in read_faults if f.fault_type is family]
+            for family in DATA_FAMILY_ORDER
+        ]
+        for group in reversed([g for g in groups if g]):
+            if self.compact_data_bus:
+                info, _ = self._try_fragment(
+                    assembly,
+                    lambda g=group: build_read_group_compacted(assembly, g),
+                )
+                if info is not None:
+                    for fault in group:
+                        applied.append(
+                            AppliedTest(
+                                fault, info.technique, info.entry, info.responses
+                            )
+                        )
+                    continue
+            # Individual fallback (also the non-compacted mode).
+            for fault in reversed(group):
+                info, reason = self._try_fragment(
+                    assembly, lambda f=fault: build_read_test(assembly, f)
+                )
+                if info is None:
+                    skipped.append(SkippedTest(fault, reason))
+                else:
+                    applied.append(
+                        AppliedTest(fault, info.technique, info.entry, info.responses)
+                    )
+
+    def _build_data_write(
+        self,
+        assembly: ProgramAssembly,
+        faults: Sequence[MAFault],
+        applied: List[AppliedTest],
+        skipped: List[SkippedTest],
+    ) -> None:
+        write_faults = [
+            fault
+            for family in DATA_FAMILY_ORDER
+            for fault in faults
+            if fault.direction is BusDirection.CPU_TO_MEM
+            and fault.fault_type is family
+        ]
+        for fault in reversed(write_faults):
+            info, reason = self._try_fragment(
+                assembly, lambda f=fault: build_write_test(assembly, f)
+            )
+            if info is None:
+                skipped.append(SkippedTest(fault, reason))
+            else:
+                applied.append(
+                    AppliedTest(fault, info.technique, info.entry, info.responses)
+                )

@@ -1,0 +1,72 @@
+"""Multi-session scheduling of conflicting tests (paper Section 5).
+
+"Some of the tests cannot be applied due to address conflicts — i.e.,
+multiple tests compete for the same instruction address.  This problem
+can be solved by separating conflicting tests into multiple test
+programs, which can be executed in different sessions."
+
+:func:`build_sessions` does exactly that: it builds a first program with
+every requested fault, then keeps building follow-up programs from the
+skipped remainder until everything is applied or no further progress is
+possible (a fault can be *structurally* unapplicable — e.g. the negative
+glitch on address line 1, whose corrupted target address coincides with
+the test's own instruction byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.maf import MAFault
+from repro.core.program_builder import SelfTestProgram, SelfTestProgramBuilder
+from repro.soc.bus import BusDirection
+
+
+@dataclass
+class SessionPlan:
+    """The session decomposition of one fault set."""
+
+    programs: List[SelfTestProgram] = field(default_factory=list)
+    unapplicable: List[MAFault] = field(default_factory=list)
+
+    @property
+    def session_count(self) -> int:
+        """Number of test programs (tester sessions)."""
+        return len(self.programs)
+
+    @property
+    def applied_total(self) -> int:
+        """Tests applied across all sessions."""
+        return sum(len(program.applied) for program in self.programs)
+
+
+def build_sessions(
+    builder: Optional[SelfTestProgramBuilder] = None,
+    address_faults: Optional[Sequence[MAFault]] = None,
+    data_faults: Optional[Sequence[MAFault]] = None,
+    max_sessions: int = 8,
+) -> SessionPlan:
+    """Schedule the given faults into as few programs as conflicts allow."""
+    builder = builder or SelfTestProgramBuilder()
+    remaining_address = list(
+        builder.address_faults() if address_faults is None else address_faults
+    )
+    remaining_data = list(
+        builder.data_faults() if data_faults is None else data_faults
+    )
+    plan = SessionPlan()
+    while (remaining_address or remaining_data) and len(plan.programs) < max_sessions:
+        program = builder.build(remaining_address, remaining_data)
+        if not program.applied:
+            break  # nothing placeable even alone: the rest is unapplicable
+        plan.programs.append(program)
+        applied = set(program.applied_faults)
+        remaining_address = [f for f in remaining_address if f not in applied]
+        remaining_data = [f for f in remaining_data if f not in applied]
+    plan.unapplicable = [
+        fault
+        for fault in remaining_address + remaining_data
+        if fault.direction is None or isinstance(fault.direction, BusDirection)
+    ]
+    return plan

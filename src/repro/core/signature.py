@@ -1,0 +1,103 @@
+"""Golden references and response checking.
+
+The external (low-speed) tester of the paper loads the self-test program,
+lets it run at speed, then unloads and compares the test responses.  Here
+the golden reference is the final memory image of a fault-free run; a
+defective chip is *detected* when its final memory differs anywhere, or
+when the program never reaches the halt convention (a crosstalk error
+that derails execution — e.g. a corrupted jump — also fails the part,
+since the expected signature never materializes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.program_builder import SelfTestProgram
+from repro.soc.system import CpuMemorySystem
+
+#: Safety multiplier over the golden cycle count before a run is declared
+#: hung.  Crosstalk errors can lengthen execution (extra page-1/page-2
+#: detours in the glitch tests), so the bound is generous.
+TIMEOUT_FACTOR = 4
+TIMEOUT_SLACK = 2000
+
+
+@dataclass(frozen=True)
+class GoldenReference:
+    """Fault-free outcome of one self-test program."""
+
+    snapshot: bytes
+    cycles: int
+    instructions: int
+
+    @property
+    def max_cycles(self) -> int:
+        """Cycle budget for defective runs before declaring a hang."""
+        return self.cycles * TIMEOUT_FACTOR + TIMEOUT_SLACK
+
+
+def make_system(program: SelfTestProgram) -> CpuMemorySystem:
+    """A fresh system with ``program`` loaded (memory elsewhere is 0x00)."""
+    system = CpuMemorySystem(memory_size=program.memory_size)
+    system.load_image(program.image)
+    return system
+
+
+def capture_golden(program: SelfTestProgram) -> GoldenReference:
+    """Run ``program`` on a fault-free system and record the reference.
+
+    Raises
+    ------
+    RuntimeError
+        If the program does not halt — that is a program-construction
+        bug, not a test outcome.
+    """
+    system = make_system(program)
+    result = system.run(entry=program.entry, max_cycles=10_000_000)
+    if not result.halted:
+        raise RuntimeError("golden run did not reach the halt convention")
+    return GoldenReference(
+        snapshot=system.memory.snapshot(),
+        cycles=result.cycles,
+        instructions=result.instructions,
+    )
+
+
+@dataclass(frozen=True)
+class ResponseCheck:
+    """Outcome of comparing one run against the golden reference."""
+
+    detected: bool
+    timed_out: bool
+    mismatches: int
+
+    @property
+    def passed(self) -> bool:
+        """True when the run is indistinguishable from fault-free."""
+        return not self.detected
+
+
+def check_response(
+    golden: GoldenReference,
+    system: CpuMemorySystem,
+    halted: bool,
+) -> ResponseCheck:
+    """Judge a finished (or timed-out) run against the golden reference."""
+    if not halted:
+        return ResponseCheck(detected=True, timed_out=True, mismatches=0)
+    snapshot = system.memory.snapshot()
+    if snapshot == golden.snapshot:
+        return ResponseCheck(detected=False, timed_out=False, mismatches=0)
+    mismatches = sum(
+        1 for a, b in zip(snapshot, golden.snapshot) if a != b
+    )
+    return ResponseCheck(detected=True, timed_out=False, mismatches=mismatches)
+
+
+def diff_cells(
+    golden: GoldenReference, system: CpuMemorySystem
+) -> Dict[int, Tuple[int, int]]:
+    """``address -> (expected, actual)`` for every mismatched cell."""
+    return system.memory.diff(golden.snapshot)

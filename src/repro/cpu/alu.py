@@ -1,0 +1,83 @@
+"""The 8-bit ALU of the PARWAN-class CPU.
+
+Each operation is a pure function returning an :class:`AluResult` so the
+flag behaviour is unit-testable in isolation from the datapath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AluResult:
+    """Result word plus the flag values the operation produces.
+
+    ``v``/``c`` are ``None`` for operations that leave those flags
+    untouched (e.g. ``AND`` only updates Z and N).
+    """
+
+    value: int
+    z: bool
+    n: bool
+    v: Optional[bool] = None
+    c: Optional[bool] = None
+
+
+def _zn(value: int) -> dict:
+    return {"z": (value & 0xFF) == 0, "n": bool(value & 0x80)}
+
+
+def alu_add(a: int, b: int) -> AluResult:
+    """8-bit addition with carry and signed-overflow detection."""
+    raw = (a & 0xFF) + (b & 0xFF)
+    value = raw & 0xFF
+    carry = raw > 0xFF
+    overflow = bool((~(a ^ b) & (a ^ value)) & 0x80)
+    return AluResult(value=value, v=overflow, c=carry, **_zn(value))
+
+
+def alu_sub(a: int, b: int) -> AluResult:
+    """8-bit subtraction ``a - b``.
+
+    Carry is the *no-borrow* convention (C set when ``a >= b`` unsigned),
+    overflow is signed overflow of the subtraction.
+    """
+    raw = (a & 0xFF) + ((~b) & 0xFF) + 1
+    value = raw & 0xFF
+    carry = raw > 0xFF
+    overflow = bool(((a ^ b) & (a ^ value)) & 0x80)
+    return AluResult(value=value, v=overflow, c=carry, **_zn(value))
+
+
+def alu_and(a: int, b: int) -> AluResult:
+    """Bitwise AND; updates only Z and N."""
+    value = (a & b) & 0xFF
+    return AluResult(value=value, **_zn(value))
+
+
+def alu_asl(a: int) -> AluResult:
+    """Arithmetic shift left.
+
+    C receives the bit shifted out; V flags a sign change (the shifted
+    value's sign differs from the original's).
+    """
+    value = (a << 1) & 0xFF
+    carry = bool(a & 0x80)
+    overflow = bool((a ^ value) & 0x80)
+    return AluResult(value=value, v=overflow, c=carry, **_zn(value))
+
+
+def alu_asr(a: int) -> AluResult:
+    """Arithmetic shift right (sign-preserving); C receives the bit
+    shifted out."""
+    value = ((a >> 1) | (a & 0x80)) & 0xFF
+    carry = bool(a & 0x01)
+    return AluResult(value=value, c=carry, **_zn(value))
+
+
+def alu_complement(a: int) -> AluResult:
+    """One's complement (CMA); updates only Z and N."""
+    value = (~a) & 0xFF
+    return AluResult(value=value, **_zn(value))

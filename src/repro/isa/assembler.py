@@ -1,0 +1,277 @@
+"""A small two-pass assembler for the PARWAN-class ISA.
+
+The assembler exists so that examples and tests can express self-test
+programs (and ordinary programs) readably.  The SBST program builders in
+:mod:`repro.core` emit instructions through :mod:`repro.isa.encoding`
+directly, because they need byte-exact placement control.
+
+Syntax
+------
+* One statement per line; ``;`` starts a comment.
+* ``label:`` defines a symbol at the current location counter.
+* Directives:
+
+  - ``.org ADDRESS`` — set the location counter.
+  - ``.byte V1, V2, ...`` — emit literal bytes.
+
+* Instructions use the spec names from :mod:`repro.isa.instructions`:
+  ``lda``, ``lda@`` (indirect), ..., ``bra_z``, ``nop``.
+* Memory operands are ``page:offset`` (each hex ``0x..``/decimal), a plain
+  12-bit number, or a label.  Branch operands are an 8-bit offset or a
+  label on the same page as the branch target slot.
+
+Numbers accept ``0x`` (hex), ``0b`` (binary) and decimal forms.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.encoding import (
+    Instruction,
+    encode,
+    make_address,
+    page_of,
+)
+from repro.isa.instructions import (
+    Format,
+    MEMORY_SIZE,
+    Mnemonic,
+)
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_SPEC_NAMES = {}
+for _m in Mnemonic:
+    _SPEC_NAMES[_m.value] = (_m, False)
+for _m in (
+    Mnemonic.LDA,
+    Mnemonic.AND,
+    Mnemonic.ADD,
+    Mnemonic.SUB,
+    Mnemonic.JMP,
+    Mnemonic.STA,
+):
+    _SPEC_NAMES[_m.value + "@"] = (_m, True)
+
+
+class AssemblyError(ValueError):
+    """Raised on any assembly problem, with the offending line number."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class AssembledProgram:
+    """Result of assembling a source text.
+
+    Attributes
+    ----------
+    image:
+        Sparse memory image mapping address -> byte value.
+    symbols:
+        Label name -> address.
+    entry:
+        Suggested entry point (address of the first emitted byte).
+    listing:
+        ``(address, bytes, source line)`` triples for human inspection.
+    """
+
+    image: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+    listing: List[Tuple[int, Tuple[int, ...], str]] = field(default_factory=list)
+
+
+@dataclass
+class _Statement:
+    line_number: int
+    source: str
+    labels: List[str]
+    op: Optional[str]  # directive (".org") or instruction name
+    operand_text: Optional[str]
+    address: int = 0  # filled in pass 1
+
+
+def _parse_number(text: str, line_number: int) -> int:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(line_number, f"bad number: {text!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler.  Use :func:`assemble` for the one-shot form."""
+
+    def __init__(self) -> None:
+        self._statements: List[_Statement] = []
+
+    # -- pass 0: line parsing -------------------------------------------
+
+    def _parse_line(self, line_number: int, raw: str) -> Optional[_Statement]:
+        text = raw.split(";", 1)[0].rstrip()
+        if not text.strip():
+            return None
+        labels = []
+        while True:
+            stripped = text.lstrip()
+            match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*):", stripped)
+            if not match:
+                break
+            labels.append(match.group(1))
+            text = stripped[match.end():]
+        body = text.strip()
+        if not body:
+            return _Statement(line_number, raw, labels, None, None)
+        parts = body.split(None, 1)
+        op = parts[0].lower()
+        operand_text = parts[1].strip() if len(parts) > 1 else None
+        return _Statement(line_number, raw, labels, op, operand_text)
+
+    def _statement_size(self, stmt: _Statement) -> int:
+        if stmt.op is None:
+            return 0
+        if stmt.op == ".org":
+            return 0
+        if stmt.op == ".byte":
+            if not stmt.operand_text:
+                raise AssemblyError(stmt.line_number, ".byte needs at least one value")
+            return len(stmt.operand_text.split(","))
+        if stmt.op in _SPEC_NAMES:
+            mnemonic, indirect = _SPEC_NAMES[stmt.op]
+            return Instruction(mnemonic, indirect, operand=0).spec.length
+        raise AssemblyError(stmt.line_number, f"unknown instruction: {stmt.op!r}")
+
+    # -- operand resolution ---------------------------------------------
+
+    def _resolve_address(
+        self, text: str, symbols: Dict[str, int], line_number: int
+    ) -> int:
+        text = text.strip()
+        if _LABEL_RE.match(text):
+            if text not in symbols:
+                raise AssemblyError(line_number, f"undefined label: {text!r}")
+            return symbols[text]
+        if ":" in text:
+            page_text, offset_text = text.split(":", 1)
+            page = _parse_number(page_text, line_number)
+            offset = _parse_number(offset_text, line_number)
+            if not 0 <= page < 16 or not 0 <= offset < 256:
+                raise AssemblyError(line_number, f"address out of range: {text!r}")
+            return make_address(page, offset)
+        value = _parse_number(text, line_number)
+        if not 0 <= value < MEMORY_SIZE:
+            raise AssemblyError(line_number, f"address out of range: {text!r}")
+        return value
+
+    # -- public API -------------------------------------------------------
+
+    def assemble(self, source: str) -> AssembledProgram:
+        """Assemble ``source`` and return the program image."""
+        statements = []
+        for index, raw in enumerate(source.splitlines(), start=1):
+            stmt = self._parse_line(index, raw)
+            if stmt is not None:
+                statements.append(stmt)
+
+        # Pass 1: location counting and symbol definition.
+        program = AssembledProgram()
+        location = 0
+        first_emit: Optional[int] = None
+        for stmt in statements:
+            if stmt.op == ".org":
+                if not stmt.operand_text:
+                    raise AssemblyError(stmt.line_number, ".org needs an address")
+                location = _parse_number(stmt.operand_text, stmt.line_number)
+                if not 0 <= location < MEMORY_SIZE:
+                    raise AssemblyError(stmt.line_number, "org address out of range")
+            stmt.address = location
+            for label in stmt.labels:
+                if label in program.symbols:
+                    raise AssemblyError(stmt.line_number, f"duplicate label {label!r}")
+                program.symbols[label] = location
+            size = self._statement_size(stmt)
+            if size and first_emit is None:
+                first_emit = location
+            location += size
+            if location > MEMORY_SIZE:
+                raise AssemblyError(stmt.line_number, "program overflows memory")
+
+        # Pass 2: encoding.
+        for stmt in statements:
+            if stmt.op is None or stmt.op == ".org":
+                continue
+            if stmt.op == ".byte":
+                values = []
+                for chunk in stmt.operand_text.split(","):
+                    value = _parse_number(chunk, stmt.line_number)
+                    if not 0 <= value < 256:
+                        raise AssemblyError(
+                            stmt.line_number, f"byte out of range: {chunk.strip()!r}"
+                        )
+                    values.append(value)
+                encoded = tuple(values)
+            else:
+                mnemonic, indirect = _SPEC_NAMES[stmt.op]
+                instruction = self._build_instruction(
+                    mnemonic, indirect, stmt, program.symbols
+                )
+                encoded = encode(instruction)
+            self._emit(program, stmt, encoded)
+
+        program.entry = first_emit or 0
+        return program
+
+    def _build_instruction(
+        self,
+        mnemonic: Mnemonic,
+        indirect: bool,
+        stmt: _Statement,
+        symbols: Dict[str, int],
+    ) -> Instruction:
+        probe = Instruction(mnemonic, indirect, operand=0)
+        spec = probe.spec
+        if spec.format is Format.IMPLIED:
+            if stmt.operand_text:
+                raise AssemblyError(stmt.line_number, f"{stmt.op} takes no operand")
+            return Instruction(mnemonic, indirect)
+        if not stmt.operand_text:
+            raise AssemblyError(stmt.line_number, f"{stmt.op} needs an operand")
+        address = self._resolve_address(stmt.operand_text, symbols, stmt.line_number)
+        if spec.format is Format.BRANCH:
+            if address >= 256:
+                # A full address was given; the branch can only encode the
+                # offset, and the hardware branches within the page of the
+                # *following* instruction, so require page agreement.
+                branch_page = page_of(stmt.address + spec.length)
+                if page_of(address) != branch_page:
+                    raise AssemblyError(
+                        stmt.line_number,
+                        "branch target must be on the same page as the branch",
+                    )
+                address = address & 0xFF
+            return Instruction(mnemonic, operand=address)
+        return Instruction(mnemonic, indirect, operand=address)
+
+    def _emit(
+        self, program: AssembledProgram, stmt: _Statement, encoded: Tuple[int, ...]
+    ) -> None:
+        for index, byte in enumerate(encoded):
+            address = stmt.address + index
+            if address in program.image and program.image[address] != byte:
+                raise AssemblyError(
+                    stmt.line_number,
+                    f"overlapping emission at {address:#05x}",
+                )
+            program.image[address] = byte
+        program.listing.append((stmt.address, encoded, stmt.source))
+
+
+def assemble(source: str) -> AssembledProgram:
+    """Assemble ``source`` text into an :class:`AssembledProgram`."""
+    return Assembler().assemble(source)

@@ -1,0 +1,81 @@
+"""Disassembly of PARWAN-class memory images.
+
+Used by the analysis/reporting layer to render generated self-test programs
+as human-readable listings (useful when inspecting the scattered program
+images produced by the address-bus test builders).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.isa.encoding import (
+    EncodingError,
+    Instruction,
+    decode,
+    instruction_length_from_first_byte,
+)
+
+
+def disassemble_one(
+    image: Dict[int, int], address: int
+) -> Tuple[Optional[Instruction], int]:
+    """Decode the instruction starting at ``address`` in ``image``.
+
+    Returns ``(instruction, length)``.  If the bytes do not form a valid
+    instruction (or the image has a hole), returns ``(None, 1)`` so callers
+    can resynchronize byte by byte.
+    """
+    byte1 = image.get(address)
+    if byte1 is None:
+        return None, 1
+    length = instruction_length_from_first_byte(byte1)
+    byte2 = image.get(address + 1) if length == 2 else None
+    if length == 2 and byte2 is None:
+        return None, 1
+    try:
+        return decode(byte1, byte2), length
+    except EncodingError:
+        return None, 1
+
+
+def disassemble_image(
+    image: Dict[int, int], start: Optional[int] = None, limit: Optional[int] = None
+) -> List[str]:
+    """Produce a listing of ``image`` starting at ``start``.
+
+    Contiguous runs of bytes are decoded linearly; holes in the image break
+    runs.  Undecodable bytes are listed as ``.byte`` lines.  ``limit`` caps
+    the number of emitted lines.
+    """
+    lines: List[str] = []
+    addresses = sorted(image)
+    if not addresses:
+        return lines
+    position = start if start is not None else addresses[0]
+    seen = set()
+    for base in addresses:
+        if base in seen or base < position:
+            continue
+        cursor = max(base, position)
+        while cursor in image and cursor not in seen:
+            instruction, length = disassemble_one(image, cursor)
+            if instruction is None:
+                lines.append(f"{cursor:#05x}: .byte {image[cursor]:#04x}")
+                seen.add(cursor)
+                cursor += 1
+            else:
+                raw = " ".join(
+                    f"{image[cursor + i]:02x}" for i in range(length)
+                )
+                lines.append(f"{cursor:#05x}: {raw:<6} {instruction}")
+                seen.update(range(cursor, cursor + length))
+                cursor += length
+            if limit is not None and len(lines) >= limit:
+                return lines
+    return lines
+
+
+def format_listing(lines: Iterable[str]) -> str:
+    """Join listing lines into one printable block."""
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Binary encoding and decoding of PARWAN-class instructions.
+
+Encoding summary (see :mod:`repro.isa.instructions` for the format list)::
+
+    MEMREF   byte1 = ooo i pppp   byte2 = ffffffff
+             ooo  = 3-bit opcode (LDA=000 ... JSR=110)
+             i    = indirect flag (must be 0 for JSR)
+             pppp = page number of the operand address
+             ffffffff = offset of the operand address
+
+    BRANCH   byte1 = 1110 vczn    byte2 = ffffffff (target offset, same page)
+
+    IMPLIED  byte1 = 1111 ssss    (ssss = sub-opcode)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.isa.instructions import (
+    ADDR_BITS,
+    BRANCH_MASKS,
+    Format,
+    IMPLIED_SUBOPS,
+    InstructionSpec,
+    MEMREF_OPCODES,
+    Mnemonic,
+    OFFSET_BITS,
+    spec_for,
+)
+
+_ADDR_MASK = (1 << ADDR_BITS) - 1
+_OFFSET_MASK = (1 << OFFSET_BITS) - 1
+
+_MEMREF_BY_OPCODE = {code: m for m, code in MEMREF_OPCODES.items()}
+_BRANCH_BY_MASK = {mask: m for m, mask in BRANCH_MASKS.items()}
+_IMPLIED_BY_SUBOP = {sub: m for m, sub in IMPLIED_SUBOPS.items()}
+
+
+class EncodingError(ValueError):
+    """Raised for un-encodable operand combinations or undecodable bytes."""
+
+
+def make_address(page: int, offset: int) -> int:
+    """Combine a 4-bit page and an 8-bit offset into a 12-bit address."""
+    if not 0 <= page < 16:
+        raise EncodingError(f"page out of range: {page}")
+    if not 0 <= offset < 256:
+        raise EncodingError(f"offset out of range: {offset}")
+    return (page << OFFSET_BITS) | offset
+
+
+def page_of(address: int) -> int:
+    """Return the 4-bit page number of a 12-bit address."""
+    return (address & _ADDR_MASK) >> OFFSET_BITS
+
+
+def offset_of(address: int) -> int:
+    """Return the 8-bit in-page offset of a 12-bit address."""
+    return address & _OFFSET_MASK
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or to-be-encoded) instruction.
+
+    ``operand`` is the full 12-bit operand address for MEMREF instructions,
+    the 8-bit in-page target offset for BRANCH instructions, and ``None``
+    for IMPLIED instructions.
+    """
+
+    mnemonic: Mnemonic
+    indirect: bool = False
+    operand: Optional[int] = None
+
+    @property
+    def spec(self) -> InstructionSpec:
+        """Return the static spec of this instruction variant.
+
+        Raises :class:`EncodingError` for variants that do not exist
+        (e.g. an indirect ``JSR``).
+        """
+        try:
+            return spec_for(self.mnemonic, self.indirect)
+        except KeyError as exc:
+            raise EncodingError(str(exc)) from exc
+
+    @property
+    def length(self) -> int:
+        """Instruction length in bytes."""
+        return self.spec.length
+
+    def __str__(self) -> str:
+        spec = self.spec
+        if spec.format is Format.IMPLIED:
+            return spec.name
+        if spec.format is Format.BRANCH:
+            return f"{spec.name} {self.operand:#04x}"
+        return f"{spec.name} {page_of(self.operand):x}:{offset_of(self.operand):02x}"
+
+
+def encode(instruction: Instruction) -> Tuple[int, ...]:
+    """Encode ``instruction`` into its byte sequence.
+
+    Returns a 1- or 2-tuple of byte values.
+
+    Raises
+    ------
+    EncodingError
+        On missing/out-of-range operands or an indirect JSR.
+    """
+    spec = instruction.spec  # raises KeyError for impossible variants
+    if spec.format is Format.IMPLIED:
+        if instruction.operand is not None:
+            raise EncodingError(f"{spec.name} takes no operand")
+        return (0b1111_0000 | IMPLIED_SUBOPS[instruction.mnemonic],)
+    if instruction.operand is None:
+        raise EncodingError(f"{spec.name} requires an operand")
+    if spec.format is Format.BRANCH:
+        if not 0 <= instruction.operand < 256:
+            raise EncodingError(f"branch offset out of range: {instruction.operand}")
+        return (
+            0b1110_0000 | BRANCH_MASKS[instruction.mnemonic],
+            instruction.operand,
+        )
+    # MEMREF
+    if not 0 <= instruction.operand < (1 << ADDR_BITS):
+        raise EncodingError(f"address out of range: {instruction.operand:#x}")
+    if instruction.mnemonic is Mnemonic.JSR and instruction.indirect:
+        raise EncodingError("JSR has no indirect form")
+    byte1 = (
+        (MEMREF_OPCODES[instruction.mnemonic] << 5)
+        | ((1 << 4) if instruction.indirect else 0)
+        | page_of(instruction.operand)
+    )
+    return (byte1, offset_of(instruction.operand))
+
+
+def first_byte(instruction: Instruction) -> int:
+    """Return only the first encoded byte of ``instruction``.
+
+    The SBST address-bus glitch tests (Section 4.2.2 of the paper) plant
+    *first bytes* of load instructions at the corrupted target addresses;
+    this helper makes those call sites read naturally.
+    """
+    return encode(instruction)[0]
+
+
+def decode(byte1: int, byte2: Optional[int] = None) -> Instruction:
+    """Decode one instruction from its first byte (and second, if needed).
+
+    ``byte2`` may be omitted for IMPLIED instructions; supplying it for a
+    two-byte instruction is mandatory.
+
+    Raises
+    ------
+    EncodingError
+        If ``byte1`` is not a valid first byte or ``byte2`` is missing.
+    """
+    if not 0 <= byte1 < 256:
+        raise EncodingError(f"byte out of range: {byte1}")
+    top = byte1 >> 4
+    if top == 0b1111:
+        sub = byte1 & 0x0F
+        if sub not in _IMPLIED_BY_SUBOP:
+            raise EncodingError(f"unknown implied sub-opcode: {sub:#x}")
+        return Instruction(_IMPLIED_BY_SUBOP[sub])
+    if byte2 is None:
+        raise EncodingError("second byte required for a two-byte instruction")
+    if not 0 <= byte2 < 256:
+        raise EncodingError(f"byte out of range: {byte2}")
+    if top == 0b1110:
+        mask = byte1 & 0x0F
+        if mask not in _BRANCH_BY_MASK:
+            raise EncodingError(f"unknown branch condition mask: {mask:#x}")
+        return Instruction(_BRANCH_BY_MASK[mask], operand=byte2)
+    opcode = byte1 >> 5
+    mnemonic = _MEMREF_BY_OPCODE[opcode]
+    indirect = bool(byte1 & 0x10)
+    if mnemonic is Mnemonic.JSR and indirect:
+        raise EncodingError("JSR has no indirect form")
+    address = make_address(byte1 & 0x0F, byte2)
+    return Instruction(mnemonic, indirect=indirect, operand=address)
+
+
+def instruction_length_from_first_byte(byte1: int) -> int:
+    """Return the instruction length implied by a first byte (1 or 2)."""
+    return 1 if (byte1 >> 4) == 0b1111 else 2

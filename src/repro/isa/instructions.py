@@ -1,0 +1,249 @@
+"""Instruction metadata for the PARWAN-class processor.
+
+The processor is an 8-bit accumulator machine with a 12-bit address space
+(4-bit page, 8-bit offset).  Its 23 instructions fall into three formats:
+
+``MEMREF`` (two bytes)
+    ``LDA``, ``AND``, ``ADD``, ``SUB``, ``JMP``, ``STA`` in direct and
+    indirect form (12 instructions) and ``JSR`` (direct only).
+    Byte 1 carries a 3-bit opcode, the indirect flag, and the 4-bit page
+    number of the operand address; byte 2 carries the 8-bit offset.
+
+``BRANCH`` (two bytes)
+    ``BRA_V``, ``BRA_C``, ``BRA_Z``, ``BRA_N`` — branch within the current
+    page when the selected status flag is set.  Byte 1 is ``1110`` plus a
+    4-bit condition mask (V, C, Z, N); byte 2 is the target offset.
+
+``IMPLIED`` (one byte)
+    ``NOP``, ``CLA``, ``CMA``, ``CMC``, ``ASL``, ``ASR`` — byte 1 is
+    ``1111`` plus a 4-bit sub-opcode.
+
+That is 12 + 1 + 4 + 6 = 23 instructions, matching the paper's description
+of the demonstrator CPU ("an 8-bit accumulator-based multi-cycle processor
+core with 23 instructions").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Width of the data bus in bits.
+DATA_BITS = 8
+#: Width of the address bus in bits.
+ADDR_BITS = 12
+#: Bits of the page number (upper part of an address).
+PAGE_BITS = 4
+#: Bits of the in-page offset (lower part of an address).
+OFFSET_BITS = 8
+#: Size of the directly addressable memory in bytes.
+MEMORY_SIZE = 1 << ADDR_BITS
+
+
+class Format(enum.Enum):
+    """Binary format of an instruction."""
+
+    MEMREF = "memref"
+    BRANCH = "branch"
+    IMPLIED = "implied"
+
+
+class Mnemonic(enum.Enum):
+    """All PARWAN-class mnemonics (addressing mode excluded)."""
+
+    LDA = "lda"
+    AND = "and"
+    ADD = "add"
+    SUB = "sub"
+    JMP = "jmp"
+    STA = "sta"
+    JSR = "jsr"
+    BRA_V = "bra_v"
+    BRA_C = "bra_c"
+    BRA_Z = "bra_z"
+    BRA_N = "bra_n"
+    NOP = "nop"
+    CLA = "cla"
+    CMA = "cma"
+    CMC = "cmc"
+    ASL = "asl"
+    ASR = "asr"
+
+
+#: 3-bit major opcodes of the MEMREF instructions (byte 1, bits 7..5).
+MEMREF_OPCODES = {
+    Mnemonic.LDA: 0b000,
+    Mnemonic.AND: 0b001,
+    Mnemonic.ADD: 0b010,
+    Mnemonic.SUB: 0b011,
+    Mnemonic.JMP: 0b100,
+    Mnemonic.STA: 0b101,
+    Mnemonic.JSR: 0b110,
+}
+
+#: Condition-mask nibbles of the branch instructions (byte 1, bits 3..0).
+#: Bit 3 selects V, bit 2 selects C, bit 1 selects Z, bit 0 selects N.
+BRANCH_MASKS = {
+    Mnemonic.BRA_V: 0b1000,
+    Mnemonic.BRA_C: 0b0100,
+    Mnemonic.BRA_Z: 0b0010,
+    Mnemonic.BRA_N: 0b0001,
+}
+
+#: Sub-opcode nibbles of the implied instructions (byte 1, bits 3..0).
+IMPLIED_SUBOPS = {
+    Mnemonic.NOP: 0b0000,
+    Mnemonic.CLA: 0b0001,
+    Mnemonic.CMA: 0b0010,
+    Mnemonic.CMC: 0b0100,
+    Mnemonic.ASL: 0b1000,
+    Mnemonic.ASR: 0b1001,
+}
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one instruction variant.
+
+    Attributes
+    ----------
+    mnemonic:
+        The instruction mnemonic.
+    format:
+        Binary format (determines the instruction length).
+    indirect:
+        True for the indirect-addressing variant of a MEMREF instruction.
+    reads_memory:
+        True if execution performs a memory-read bus transaction beyond the
+        instruction fetch (``LDA``, ``AND``, ``ADD``, ``SUB`` and every
+        indirect variant's pointer fetch).
+    writes_memory:
+        True if execution performs a memory-write bus transaction
+        (``STA``, ``JSR``).
+    sets_flags:
+        Status flags (subset of ``"VCZN"``) updated by execution.
+    description:
+        One-line human description.
+    """
+
+    mnemonic: Mnemonic
+    format: Format
+    indirect: bool
+    reads_memory: bool
+    writes_memory: bool
+    sets_flags: str
+    description: str
+
+    @property
+    def length(self) -> int:
+        """Instruction length in bytes (1 for IMPLIED, otherwise 2)."""
+        return 1 if self.format is Format.IMPLIED else 2
+
+    @property
+    def name(self) -> str:
+        """Assembler-facing name, e.g. ``"lda"`` or ``"lda@"``."""
+        suffix = "@" if self.indirect else ""
+        return self.mnemonic.value + suffix
+
+
+def _memref(mnemonic, indirect, reads, writes, flags, description):
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        format=Format.MEMREF,
+        indirect=indirect,
+        reads_memory=reads or indirect,
+        writes_memory=writes,
+        sets_flags=flags,
+        description=description,
+    )
+
+
+def _build_instruction_set():
+    """Construct the full 23-entry instruction registry."""
+    specs = []
+    memref_info = [
+        (Mnemonic.LDA, True, False, "ZN", "load memory into AC"),
+        (Mnemonic.AND, True, False, "ZN", "AND memory into AC"),
+        (Mnemonic.ADD, True, False, "VCZN", "add memory into AC"),
+        (Mnemonic.SUB, True, False, "VCZN", "subtract memory from AC"),
+        (Mnemonic.JMP, False, False, "", "jump to address"),
+        (Mnemonic.STA, False, True, "", "store AC to memory"),
+    ]
+    for mnemonic, reads, writes, flags, description in memref_info:
+        specs.append(_memref(mnemonic, False, reads, writes, flags, description))
+        specs.append(
+            _memref(mnemonic, True, reads, writes, flags, description + " (indirect)")
+        )
+    specs.append(
+        _memref(
+            Mnemonic.JSR,
+            False,
+            False,
+            True,
+            "",
+            "store return offset at target, jump to target+1",
+        )
+    )
+    branch_info = [
+        (Mnemonic.BRA_V, "branch in page if overflow flag set"),
+        (Mnemonic.BRA_C, "branch in page if carry flag set"),
+        (Mnemonic.BRA_Z, "branch in page if zero flag set"),
+        (Mnemonic.BRA_N, "branch in page if negative flag set"),
+    ]
+    for mnemonic, description in branch_info:
+        specs.append(
+            InstructionSpec(
+                mnemonic=mnemonic,
+                format=Format.BRANCH,
+                indirect=False,
+                reads_memory=False,
+                writes_memory=False,
+                sets_flags="",
+                description=description,
+            )
+        )
+    implied_info = [
+        (Mnemonic.NOP, "", "no operation"),
+        (Mnemonic.CLA, "", "clear AC"),
+        (Mnemonic.CMA, "ZN", "complement AC"),
+        (Mnemonic.CMC, "C", "complement carry flag"),
+        (Mnemonic.ASL, "VCZN", "arithmetic shift AC left"),
+        (Mnemonic.ASR, "CZN", "arithmetic shift AC right"),
+    ]
+    for mnemonic, flags, description in implied_info:
+        specs.append(
+            InstructionSpec(
+                mnemonic=mnemonic,
+                format=Format.IMPLIED,
+                indirect=False,
+                reads_memory=False,
+                writes_memory=False,
+                sets_flags=flags,
+                description=description,
+            )
+        )
+    return tuple(specs)
+
+
+#: The complete instruction registry (23 entries).
+INSTRUCTION_SET = _build_instruction_set()
+
+_BY_NAME = {spec.name: spec for spec in INSTRUCTION_SET}
+
+
+def instruction_count() -> int:
+    """Return the number of instruction variants (the paper's "23")."""
+    return len(INSTRUCTION_SET)
+
+
+def spec_for(mnemonic: Mnemonic, indirect: bool = False) -> InstructionSpec:
+    """Look up the spec for ``mnemonic`` in the requested addressing mode.
+
+    Raises
+    ------
+    KeyError
+        If the mnemonic does not exist in the requested mode (e.g. an
+        indirect ``JSR`` or an indirect implied instruction).
+    """
+    name = mnemonic.value + ("@" if indirect else "")
+    return _BY_NAME[name]

@@ -1,0 +1,98 @@
+"""Intel HEX export/import of program images.
+
+The paper's flow has a low-speed external tester load the self-test
+program into on-chip memory and unload the response region afterwards.
+This module provides the standard interchange format for that step, so
+generated programs can round-trip through real tester tooling.
+
+Only the record types needed for a 4K image are implemented: data
+records (type 00) and end-of-file (type 01).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+
+class HexFormatError(ValueError):
+    """Raised for malformed Intel HEX input."""
+
+
+def _checksum(record_bytes: Iterable[int]) -> int:
+    return (-sum(record_bytes)) & 0xFF
+
+
+def dump_image(image: Mapping[int, int], record_size: int = 16) -> str:
+    """Render a sparse ``address -> byte`` image as Intel HEX text.
+
+    Contiguous byte runs are packed into data records of up to
+    ``record_size`` bytes; a type-01 record terminates the file.
+    """
+    if not 1 <= record_size <= 255:
+        raise ValueError("record_size must be in 1..255")
+    lines: List[str] = []
+    addresses = sorted(image)
+    index = 0
+    while index < len(addresses):
+        start = addresses[index]
+        run = [image[start]]
+        while (
+            index + 1 < len(addresses)
+            and addresses[index + 1] == addresses[index] + 1
+            and len(run) < record_size
+        ):
+            index += 1
+            run.append(image[addresses[index]])
+        index += 1
+        record = [len(run), (start >> 8) & 0xFF, start & 0xFF, 0x00] + run
+        record.append(_checksum(record))
+        lines.append(":" + "".join(f"{byte:02X}" for byte in record))
+    lines.append(":00000001FF")
+    return "\n".join(lines) + "\n"
+
+
+def load_image(text: str) -> Dict[int, int]:
+    """Parse Intel HEX text back into a sparse image.
+
+    Raises
+    ------
+    HexFormatError
+        On syntax errors, bad checksums, unsupported record types, or a
+        missing end-of-file record.
+    """
+    image: Dict[int, int] = {}
+    saw_eof = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise HexFormatError(f"line {line_number}: data after EOF record")
+        if not line.startswith(":"):
+            raise HexFormatError(f"line {line_number}: missing ':' start code")
+        body = line[1:]
+        if len(body) % 2 or len(body) < 10:
+            raise HexFormatError(f"line {line_number}: truncated record")
+        try:
+            record = [int(body[i:i + 2], 16) for i in range(0, len(body), 2)]
+        except ValueError as exc:
+            raise HexFormatError(f"line {line_number}: bad hex digit") from exc
+        count, addr_hi, addr_lo, rtype = record[:4]
+        payload = record[4:-1]
+        if len(payload) != count:
+            raise HexFormatError(f"line {line_number}: length mismatch")
+        if _checksum(record[:-1]) != record[-1]:
+            raise HexFormatError(f"line {line_number}: checksum mismatch")
+        if rtype == 0x01:
+            saw_eof = True
+            continue
+        if rtype != 0x00:
+            raise HexFormatError(
+                f"line {line_number}: unsupported record type {rtype:#04x}"
+            )
+        address = (addr_hi << 8) | addr_lo
+        for offset, byte in enumerate(payload):
+            image[address + offset] = byte
+    if not saw_eof:
+        raise HexFormatError("missing end-of-file record")
+    return image

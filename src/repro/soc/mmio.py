@@ -1,0 +1,110 @@
+"""Memory-mapped I/O cores.
+
+The paper notes (Sections 3 and 6) that the CPU addresses non-memory cores
+via memory-mapped I/O, so the same self-test strategy extends to the
+CPU-to-core buses.  This module provides simple core models that can be
+mapped into the CPU's address space so examples and tests can exercise that
+extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+class MMIOCoreProtocol:
+    """Interface expected of a memory-mapped core."""
+
+    def read(self, offset: int) -> int:
+        """Return the byte at ``offset`` within the core's window."""
+        raise NotImplementedError
+
+    def write(self, offset: int, value: int) -> None:
+        """Store ``value`` at ``offset`` within the core's window."""
+        raise NotImplementedError
+
+
+@dataclass
+class MMIORegion:
+    """A core mapped at ``[base, base + size)`` in the CPU address space."""
+
+    base: int
+    size: int
+    core: MMIOCoreProtocol
+    name: str = "core"
+
+    def contains(self, address: int) -> bool:
+        """Return True when ``address`` falls inside this window."""
+        return self.base <= address < self.base + self.size
+
+
+class RegisterCore(MMIOCoreProtocol):
+    """A peripheral core exposing a bank of read/write byte registers.
+
+    This is the minimal stand-in for "other cores" of the paper's target
+    SoC (Fig. 2): a block whose registers the CPU can exchange test vectors
+    with over the shared buses.
+    """
+
+    def __init__(self, register_count: int = 16):
+        if register_count <= 0:
+            raise ValueError("register_count must be positive")
+        self.register_count = register_count
+        self._registers = bytearray(register_count)
+        self.read_count = 0
+        self.write_count = 0
+
+    def read(self, offset: int) -> int:
+        self._check(offset)
+        self.read_count += 1
+        return self._registers[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        self._check(offset)
+        if not 0 <= value < 256:
+            raise ValueError("byte out of range")
+        self.write_count += 1
+        self._registers[offset] = value
+
+    def _check(self, offset: int) -> None:
+        if not 0 <= offset < self.register_count:
+            raise IndexError(f"register offset out of range: {offset}")
+
+    def snapshot(self) -> bytes:
+        """Return a copy of the register bank."""
+        return bytes(self._registers)
+
+    def load(self, values: Sequence[int]) -> None:
+        """Preset the first ``len(values)`` registers."""
+        for offset, value in enumerate(values):
+            self.write(offset, value)
+        self.read_count = 0
+        self.write_count = 0
+
+
+class RomCore(MMIOCoreProtocol):
+    """A read-only core; writes are ignored (as on a real ROM's bus port).
+
+    Useful for modeling the paper's "read-only locations" corner case in
+    address-bus testing (Section 3.2): the value stored at a corrupted
+    target address may not be controllable.
+    """
+
+    def __init__(self, contents: Sequence[int]):
+        if not contents:
+            raise ValueError("ROM must have at least one byte")
+        for value in contents:
+            if not 0 <= value < 256:
+                raise ValueError("byte out of range")
+        self._contents = bytes(contents)
+        self.ignored_writes: Dict[int, int] = {}
+
+    def read(self, offset: int) -> int:
+        if not 0 <= offset < len(self._contents):
+            raise IndexError(f"ROM offset out of range: {offset}")
+        return self._contents[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        # Writes to a ROM region land nowhere; remember them for tests.
+        self.ignored_writes[offset] = value

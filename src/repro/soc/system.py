@@ -1,0 +1,152 @@
+"""Wiring of the CPU-memory system used throughout the paper.
+
+A :class:`CpuMemorySystem` owns the 12-bit unidirectional address bus, the
+8-bit bidirectional data bus, the memory core, optional memory-mapped
+peripheral cores, and a PARWAN-class CPU.  It implements the CPU's
+:class:`~repro.cpu.datapath.BusPort`, so every CPU memory access becomes an
+address-bus transaction followed by a data-bus transaction — the exact
+transition stream the crosstalk error model corrupts.
+
+The memory services the *received* address of each access: a corrupted
+address-bus word makes reads return data from the wrong location and writes
+land at the wrong location, which is how address-bus crosstalk errors
+manifest in the paper (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from repro.cpu.datapath import BusPort, Cpu
+from repro.isa.instructions import ADDR_BITS, DATA_BITS, MEMORY_SIZE
+from repro.soc.bus import Bus, BusDirection, TransactionKind
+from repro.soc.memory import Memory
+from repro.soc.mmio import MMIORegion
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running the CPU until halt or a cycle budget."""
+
+    halted: bool
+    cycles: int
+    instructions: int
+
+    @property
+    def timed_out(self) -> bool:
+        """True when the cycle budget expired before the halt convention."""
+        return not self.halted
+
+
+class CpuMemorySystem(BusPort):
+    """The demonstrator SoC: CPU + memory on shared address/data buses.
+
+    Parameters
+    ----------
+    memory_size:
+        Bytes of memory (default: the paper's 4K).
+    addr_bits / data_bits:
+        Bus widths; defaults match the paper (12-bit address, 8-bit data).
+    mmio_regions:
+        Optional memory-mapped cores overriding parts of the address space.
+    """
+
+    def __init__(
+        self,
+        memory_size: int = MEMORY_SIZE,
+        addr_bits: int = ADDR_BITS,
+        data_bits: int = DATA_BITS,
+        mmio_regions: Optional[Sequence[MMIORegion]] = None,
+    ):
+        self.address_bus = Bus("addr", addr_bits)
+        self.data_bus = Bus("data", data_bits)
+        self.memory = Memory(memory_size)
+        self.mmio_regions: List[MMIORegion] = list(mmio_regions or [])
+        self.cpu = Cpu(self)
+        self.cycle = 0
+        self._pending_address = 0
+
+    # -- BusPort implementation ------------------------------------------
+
+    def address_phase(self, address: int, kind: TransactionKind) -> None:
+        self._pending_address = self.address_bus.transfer(
+            address, BusDirection.CPU_TO_MEM, kind, self.cycle
+        )
+
+    def read_phase(self, kind: TransactionKind) -> int:
+        value = self._route_read(self._pending_address)
+        return self.data_bus.transfer(
+            value, BusDirection.MEM_TO_CPU, kind, self.cycle
+        )
+
+    def write_phase(self, value: int, kind: TransactionKind) -> None:
+        received = self.data_bus.transfer(
+            value, BusDirection.CPU_TO_MEM, kind, self.cycle
+        )
+        self._route_write(self._pending_address, received)
+
+    # -- address decoding --------------------------------------------------
+
+    def _find_region(self, address: int) -> Optional[MMIORegion]:
+        for region in self.mmio_regions:
+            if region.contains(address):
+                return region
+        return None
+
+    def _route_read(self, address: int) -> int:
+        region = self._find_region(address)
+        if region is not None:
+            return region.core.read(address - region.base)
+        return self.memory.read(address % self.memory.size)
+
+    def _route_write(self, address: int, value: int) -> None:
+        region = self._find_region(address)
+        if region is not None:
+            region.core.write(address - region.base, value)
+            return
+        self.memory.write(address % self.memory.size, value)
+
+    # -- program control ----------------------------------------------------
+
+    def load_image(self, image: Mapping[int, int]) -> None:
+        """Copy a sparse program image into memory."""
+        self.memory.load_image(image)
+
+    def reset(self, pc: int = 0) -> None:
+        """Reset CPU, clock and bus state (memory content is preserved)."""
+        self.cpu.reset(pc)
+        self.cycle = 0
+        self.address_bus.reset()
+        self.data_bus.reset()
+
+    def step(self) -> None:
+        """Advance the system by one clock cycle."""
+        self.cycle += 1
+        self.cpu.tick()
+
+    def run(self, entry: int = 0, max_cycles: int = 1_000_000) -> RunResult:
+        """Reset to ``entry`` and clock the CPU until it halts.
+
+        ``max_cycles`` bounds runaway programs — a crosstalk defect can send
+        the CPU into an endless loop, which the defect simulator must treat
+        as a (detected) abnormal outcome rather than hang.
+        """
+        self.reset(entry)
+        while not self.cpu.halted and self.cycle < max_cycles:
+            self.step()
+        return RunResult(
+            halted=self.cpu.halted,
+            cycles=self.cycle,
+            instructions=self.cpu.instruction_count,
+        )
+
+    def resume(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Continue clocking without a reset (for cycle-level inspection)."""
+        while not self.cpu.halted and self.cycle < max_cycles:
+            self.step()
+        return RunResult(
+            halted=self.cpu.halted,
+            cycles=self.cycle,
+            instructions=self.cpu.instruction_count,
+        )

@@ -1,0 +1,100 @@
+"""Bus transaction tracing and Fig. 5-style timing rendering.
+
+Attach a :class:`BusTracer` to a system's buses to capture the full
+transaction stream of a program run; :func:`render_timing_diagram` turns a
+window of that stream into an ASCII timing diagram equivalent to the
+paper's Fig. 5 (the load-instruction bus activity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.soc.bus import Bus, BusTransaction, TransactionKind
+
+
+class BusTracer:
+    """Records every transaction on the buses it is attached to."""
+
+    def __init__(self, buses: Iterable[Bus] = ()):
+        self.transactions: List[BusTransaction] = []
+        for bus in buses:
+            self.attach(bus)
+
+    def attach(self, bus: Bus) -> None:
+        """Start recording ``bus``'s transactions."""
+        bus.add_observer(self.transactions.append)
+
+    def clear(self) -> None:
+        """Drop all recorded transactions."""
+        self.transactions.clear()
+
+    def on_bus(self, name: str) -> List[BusTransaction]:
+        """All recorded transactions on the bus called ``name``."""
+        return [t for t in self.transactions if t.bus == name]
+
+    def of_kind(self, kind: TransactionKind) -> List[BusTransaction]:
+        """All recorded transactions of the given kind."""
+        return [t for t in self.transactions if t.kind == kind]
+
+    def corrupted(self) -> List[BusTransaction]:
+        """All transactions whose received word differed from the driven one."""
+        return [t for t in self.transactions if t.corrupted]
+
+    def transitions_on(self, name: str) -> List[tuple]:
+        """``(previous, driven)`` pairs seen on bus ``name``, in order.
+
+        These are exactly the crosstalk-relevant vector pairs: the error
+        model judges each ``previous -> driven`` transition.
+        """
+        return [(t.previous, t.driven) for t in self.on_bus(name)]
+
+
+def render_timing_diagram(
+    transactions: Sequence[BusTransaction],
+    start_cycle: Optional[int] = None,
+    end_cycle: Optional[int] = None,
+) -> str:
+    """Render an ASCII timing diagram of the given transactions.
+
+    One column per clock cycle; one row per bus.  Cycles with no
+    transaction on a bus show the held (``z``-floating) value, matching the
+    hold-last-value assumption of the paper's demonstrator.
+    """
+    if not transactions:
+        return "(no bus activity)"
+    cycles = [t.cycle for t in transactions]
+    first = start_cycle if start_cycle is not None else min(cycles)
+    last = end_cycle if end_cycle is not None else max(cycles)
+    bus_names = sorted({t.bus for t in transactions})
+    widths = {t.bus: max(3, (len(f"{t.driven:x}"))) for t in transactions}
+    for t in transactions:
+        widths[t.bus] = max(widths[t.bus], len(f"{t.driven:x}"))
+    column = max(widths.values()) + 1
+
+    header = "cycle".ljust(8) + "".join(
+        str(c).rjust(column) for c in range(first, last + 1)
+    )
+    lines = [header]
+    for name in bus_names:
+        held = {}
+        value = None
+        by_cycle = {t.cycle: t for t in transactions if t.bus == name}
+        row = [name.ljust(8)]
+        for cycle in range(first, last + 1):
+            t = by_cycle.get(cycle)
+            if t is not None:
+                value = t.driven
+                text = f"{value:x}"
+                if t.corrupted:
+                    text += "*"
+            elif value is None:
+                text = "z"
+            else:
+                text = f"({value:x})"
+            row.append(text.rjust(column))
+            held[cycle] = value
+        lines.append("".join(row))
+    lines.append("")
+    lines.append("(n) = value held by the floating bus; * = corrupted at receiver")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Crosstalk electrical substrate.
+
+This package stands in for the paper's HDL-level crosstalk machinery:
+
+* a parametric bus geometry and the coupling/ground capacitance matrices
+  extracted from it (the paper's "parameter file containing the values of
+  the coupling capacitance among interconnects"),
+* the lumped-RC glitch/delay estimators,
+* the high-level crosstalk error model of Bai & Dey (VTS 2001) that
+  corrupts the second vector of a bus transition at the receiving end,
+* the defect-library generator (Gaussian capacitance perturbation with a
+  net-coupling threshold ``Cth``, after Cuviello et al., ICCAD 1999),
+* a scipy-based coupled-RC waveform simulator used to validate the lumped
+  estimators.
+"""
+
+from repro.xtalk.geometry import BusGeometry
+from repro.xtalk.capacitance import CapacitanceSet, extract_capacitance
+from repro.xtalk.params import ElectricalParams
+from repro.xtalk.rc_model import (
+    TransitionKindBits,
+    classify_transition,
+    glitch_voltage,
+    transition_delay,
+)
+from repro.xtalk.calibration import Calibration, calibrate
+from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.defects import Defect, DefectLibrary, generate_defect_library
+from repro.xtalk.waveform import WaveformResult, simulate_transition
+
+__all__ = [
+    "BusGeometry",
+    "CapacitanceSet",
+    "extract_capacitance",
+    "ElectricalParams",
+    "TransitionKindBits",
+    "classify_transition",
+    "glitch_voltage",
+    "transition_delay",
+    "Calibration",
+    "calibrate",
+    "CrosstalkErrorModel",
+    "Defect",
+    "DefectLibrary",
+    "generate_defect_library",
+    "WaveformResult",
+    "simulate_transition",
+]

@@ -1,0 +1,121 @@
+"""Capacitance extraction and the capacitance parameter set.
+
+A :class:`CapacitanceSet` is the in-memory equivalent of the paper's
+"parameter file containing the values of the coupling capacitance among
+interconnects": a symmetric wire-to-wire coupling matrix plus a per-wire
+ground capacitance.  All values are in femtofarads.
+
+Extraction uses first-order parallel-line formulas:
+
+* coupling between adjacent wires: ``C_AREA_COUPLING * length / spacing``
+* ground capacitance: ``C_GROUND_PER_UM * length``
+
+These constants are loosely calibrated to a late-1990s 0.25 um process
+(the paper's era); their absolute values only set scales — all experiment
+conclusions depend on *ratios* (net coupling vs. threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.xtalk.geometry import BusGeometry
+
+#: Sidewall coupling constant, fF * um (per um of length, per um of spacing).
+C_AREA_COUPLING = 0.08
+#: Ground (area + fringe) capacitance per um of wire length, fF/um.
+C_GROUND_PER_UM = 0.04
+
+
+@dataclass(frozen=True)
+class CapacitanceSet:
+    """Coupling and ground capacitances of one bus, in fF.
+
+    ``coupling`` is a symmetric ``N x N`` nested tuple with zero diagonal;
+    ``ground`` has ``N`` entries.  Instances are immutable: perturbation
+    produces a new set (see :meth:`perturbed`).
+    """
+
+    coupling: Tuple[Tuple[float, ...], ...]
+    ground: Tuple[float, ...]
+
+    def __post_init__(self):
+        n = len(self.ground)
+        if len(self.coupling) != n:
+            raise ValueError("coupling matrix size must match ground vector")
+        for i, row in enumerate(self.coupling):
+            if len(row) != n:
+                raise ValueError("coupling matrix must be square")
+            if row[i] != 0.0:
+                raise ValueError("coupling matrix diagonal must be zero")
+        for i in range(n):
+            for j in range(n):
+                if abs(self.coupling[i][j] - self.coupling[j][i]) > 1e-12:
+                    raise ValueError("coupling matrix must be symmetric")
+                if self.coupling[i][j] < 0 or (i != j and self.ground[i] < 0):
+                    raise ValueError("capacitances must be non-negative")
+
+    @property
+    def wire_count(self) -> int:
+        """Number of wires on the bus."""
+        return len(self.ground)
+
+    def net_coupling(self, wire: int) -> float:
+        """Total coupling capacitance attached to ``wire`` (the paper's
+        per-interconnect net coupling capacitance ``C``)."""
+        return sum(self.coupling[wire])
+
+    def net_couplings(self) -> List[float]:
+        """Net coupling capacitance of every wire."""
+        return [self.net_coupling(i) for i in range(self.wire_count)]
+
+    def neighbours(self, wire: int) -> List[Tuple[int, float]]:
+        """``(other wire, coupling)`` pairs with non-zero coupling."""
+        return [
+            (j, c) for j, c in enumerate(self.coupling[wire]) if c > 0.0
+        ]
+
+    def perturbed(self, factors: Sequence[Sequence[float]]) -> "CapacitanceSet":
+        """Return a copy with each coupling scaled by ``factors[i][j]``.
+
+        ``factors`` must be symmetric (a physical defect affects one
+        capacitor, seen identically from both wires); ground capacitances
+        are left untouched, matching the paper's defect model which
+        perturbs only the coupling capacitances.
+        """
+        n = self.wire_count
+        new_rows = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                if i == j:
+                    row.append(0.0)
+                    continue
+                factor = factors[i][j]
+                if abs(factor - factors[j][i]) > 1e-12:
+                    raise ValueError("perturbation factors must be symmetric")
+                if factor < 0:
+                    raise ValueError("perturbation factors must be non-negative")
+                row.append(self.coupling[i][j] * factor)
+            new_rows.append(tuple(row))
+        return CapacitanceSet(coupling=tuple(new_rows), ground=self.ground)
+
+
+def extract_capacitance(geometry: BusGeometry) -> CapacitanceSet:
+    """Extract nominal capacitances for ``geometry``.
+
+    Only nearest-neighbour coupling is extracted (second-neighbour
+    coupling is screened by the wire in between and is one to two orders
+    of magnitude smaller on dense buses).
+    """
+    n = geometry.wire_count
+    coupling = [[0.0] * n for _ in range(n)]
+    for gap, spacing in enumerate(geometry.spacings_um):
+        value = C_AREA_COUPLING * geometry.length_um / spacing
+        coupling[gap][gap + 1] = value
+        coupling[gap + 1][gap] = value
+    ground = tuple([C_GROUND_PER_UM * geometry.length_um] * n)
+    return CapacitanceSet(
+        coupling=tuple(tuple(row) for row in coupling), ground=ground
+    )

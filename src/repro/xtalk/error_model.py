@@ -1,0 +1,188 @@
+"""High-level crosstalk error model (after Bai & Dey, VTS 2001).
+
+Given the capacitance parameter set of a bus and a transition
+``previous -> driven``, the model decides, wire by wire, whether the
+receiving end samples a corrupted word:
+
+* a *stable* wire flips if the net coupled charge from switching
+  neighbours produces a glitch beyond the receiver threshold
+  (positive glitch on a stable-0 wire, negative on a stable-1 wire);
+* a *switching* wire is sampled at its old value if its Miller-weighted
+  RC delay exceeds the settling margin.
+
+The model is installed as a :class:`~repro.soc.bus.Bus` corruption hook,
+so during defect simulation **every** bus transition of the executing
+self-test program passes through it — including instruction fetches.
+This is what lets the simulation capture fault masking and secondary
+corruption effects, as the paper's HDL environment does.
+
+All per-wire decisions are precomputed into capacitance-domain thresholds
+at construction time, keeping the per-transition cost low (the defect
+simulator calls this hook millions of times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.soc.bus import BusDirection
+from repro.xtalk.calibration import Calibration, calibrate
+from repro.xtalk.capacitance import CapacitanceSet
+from repro.xtalk.params import LN2, ElectricalParams
+
+
+@dataclass(frozen=True)
+class WireError:
+    """Diagnostic record for one corrupted wire in one transition."""
+
+    wire: int
+    effect: str  # "positive_glitch", "negative_glitch", "delay"
+    magnitude: float  # coupled capacitance (fF) that caused the error
+    threshold: float  # the threshold it exceeded (fF)
+
+
+class CrosstalkErrorModel:
+    """Receiver-side corruption of bus transitions for one capacitance set.
+
+    Parameters
+    ----------
+    caps:
+        The (possibly defect-perturbed) capacitance parameter set.
+    params:
+        Driver/receiver electrical parameters.
+    calibration:
+        Thresholds; derive them from the *nominal* capacitances so that a
+        perturbed bus is judged against the design's margins, not its own.
+    """
+
+    def __init__(
+        self,
+        caps: CapacitanceSet,
+        params: ElectricalParams,
+        calibration: Calibration,
+    ):
+        self.caps = caps
+        self.params = params
+        self.calibration = calibration
+        self.width = caps.wire_count
+        # Neighbour lists: (other wire index, other wire bit mask, coupling).
+        self._neighbours: List[Tuple[Tuple[int, int, float], ...]] = [
+            tuple((j, 1 << j, cc) for j, cc in caps.neighbours(i))
+            for i in range(self.width)
+        ]
+        # Glitch: error iff |sum of signed switching coupling| exceeds
+        #   v_th * (Cg + Cnet) / (alpha * Vdd)   [capacitance domain]
+        scale = params.glitch_attenuation * params.vdd
+        self._glitch_threshold = [
+            calibration.v_th * (caps.ground[i] + caps.net_coupling(i)) / scale
+            for i in range(self.width)
+        ]
+        # Delay: error iff Cg + sum(mf * Cc) exceeds
+        #   t_margin / (ln2 * R * 1e-15)          [capacitance domain]
+        self._delay_slack: Dict[BusDirection, List[float]] = {}
+        for direction in BusDirection:
+            margin_cap = calibration.margin_for(direction) / (
+                LN2 * params.r_for(direction) * 1e-15
+            )
+            self._delay_slack[direction] = [
+                margin_cap - caps.ground[i] for i in range(self.width)
+            ]
+
+    @classmethod
+    def nominal(
+        cls,
+        caps: CapacitanceSet,
+        params: ElectricalParams,
+        safety_factor: float = 1.25,
+    ) -> "CrosstalkErrorModel":
+        """Model for a defect-free bus, with self-derived calibration."""
+        return cls(caps, params, calibrate(caps, params, safety_factor))
+
+    # -- the hot path -------------------------------------------------------
+
+    def corrupt(self, previous: int, driven: int, direction: BusDirection) -> int:
+        """Return the word the receiver samples for this transition.
+
+        Matches the :class:`~repro.soc.bus.Bus` corruption-hook signature.
+        """
+        if previous == driven:
+            return driven
+        changed = previous ^ driven
+        received = driven
+        neighbours = self._neighbours
+        delay_slack = self._delay_slack[direction]
+        glitch_threshold = self._glitch_threshold
+        for i in range(self.width):
+            bit = 1 << i
+            if changed & bit:
+                # Switching victim: Miller-weighted coupling load.
+                load = 0.0
+                rising = driven & bit
+                for j, bitj, cc in neighbours[i]:
+                    if changed & bitj:
+                        if bool(driven & bitj) != bool(rising):
+                            load += cc + cc  # opposite transition: 2x
+                        # same-direction transition: 0x
+                    else:
+                        load += cc  # quiet aggressor: 1x
+                if load > delay_slack[i]:
+                    # Receiver samples the old (pre-transition) value.
+                    received = (received & ~bit) | (previous & bit)
+            else:
+                # Stable victim: signed injected coupling.
+                injected = 0.0
+                for j, bitj, cc in neighbours[i]:
+                    if changed & bitj:
+                        if driven & bitj:
+                            injected += cc
+                        else:
+                            injected -= cc
+                if driven & bit:
+                    if -injected > glitch_threshold[i]:
+                        received &= ~bit  # negative glitch on stable 1
+                else:
+                    if injected > glitch_threshold[i]:
+                        received |= bit  # positive glitch on stable 0
+        return received
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def explain(
+        self, previous: int, driven: int, direction: BusDirection
+    ) -> List[WireError]:
+        """Describe every wire error the transition would produce."""
+        errors: List[WireError] = []
+        if previous == driven:
+            return errors
+        changed = previous ^ driven
+        for i in range(self.width):
+            bit = 1 << i
+            if changed & bit:
+                load = 0.0
+                for j, bitj, cc in self._neighbours[i]:
+                    if changed & bitj:
+                        if bool(driven & bitj) != bool(driven & bit):
+                            load += 2.0 * cc
+                    else:
+                        load += cc
+                slack = self._delay_slack[direction][i]
+                if load > slack:
+                    errors.append(WireError(i, "delay", load, slack))
+            else:
+                injected = 0.0
+                for j, bitj, cc in self._neighbours[i]:
+                    if changed & bitj:
+                        injected += cc if (driven & bitj) else -cc
+                threshold = self._glitch_threshold[i]
+                if driven & bit and -injected > threshold:
+                    errors.append(WireError(i, "negative_glitch", -injected, threshold))
+                elif not (driven & bit) and injected > threshold:
+                    errors.append(WireError(i, "positive_glitch", injected, threshold))
+        return errors
+
+    def would_corrupt(
+        self, previous: int, driven: int, direction: BusDirection
+    ) -> bool:
+        """True if the transition is corrupted in the given direction."""
+        return self.corrupt(previous, driven, direction) != driven

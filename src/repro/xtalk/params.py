@@ -1,0 +1,49 @@
+"""Electrical parameters of the bus drivers and receivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.bus import BusDirection
+
+#: ln(2) — converts an RC time constant into a 50 %-crossing delay.
+LN2 = 0.6931471805599453
+
+
+@dataclass(frozen=True)
+class ElectricalParams:
+    """Driver/receiver electrical characteristics.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage in volts (1.8 V, a late-1990s 0.18/0.25 um supply).
+    r_driver_cpu / r_driver_mem:
+        Effective driver output resistance (ohms) when the CPU
+        respectively the memory drives the bus.  Crosstalk severity differs
+        with the driving direction (the paper's reason for testing the
+        bidirectional data bus in both directions); asymmetric values model
+        that.
+    glitch_attenuation:
+        First-order factor (< 1) modelling the victim driver fighting the
+        coupled charge back; scales the charge-sharing glitch amplitude.
+    """
+
+    vdd: float = 1.8
+    r_driver_cpu: float = 1000.0
+    r_driver_mem: float = 1000.0
+    glitch_attenuation: float = 0.55
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.r_driver_cpu <= 0 or self.r_driver_mem <= 0:
+            raise ValueError("driver resistances must be positive")
+        if not 0 < self.glitch_attenuation <= 1:
+            raise ValueError("glitch_attenuation must be in (0, 1]")
+
+    def r_for(self, direction: BusDirection) -> float:
+        """Driver resistance for a transaction in the given direction."""
+        if direction is BusDirection.CPU_TO_MEM:
+            return self.r_driver_cpu
+        return self.r_driver_mem

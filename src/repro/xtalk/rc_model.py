@@ -1,0 +1,149 @@
+"""Lumped-RC crosstalk estimators.
+
+These are the analysis formulas behind the high-level error model:
+
+Glitch (stable victim)
+    Charge sharing: aggressor transitions inject charge through the
+    coupling capacitors.  The peak victim excursion is::
+
+        V_glitch = alpha * Vdd * sum(+-Cc_vj over switching aggressors j)
+                                 / (Cg_v + Cnet_v)
+
+    with ``+`` for rising and ``-`` for falling aggressors; ``alpha < 1``
+    models the victim driver pulling the line back.  A *positive* glitch
+    matters on a victim stable at 0, a *negative* glitch on a victim
+    stable at 1 (Fig. 1 of the paper).
+
+Delay (transitioning victim)
+    Elmore delay with Miller factors: each coupling capacitor counts 0x
+    when the aggressor switches the same way, 1x when it is quiet, and 2x
+    when it switches the opposite way::
+
+        t_50 = ln(2) * R_driver * (Cg_v + sum(mf_vj * Cc_vj))
+
+Both are monotone in the victim's net coupling capacitance under the
+maximum-aggressor pattern, which is what makes the paper's defect
+criterion (net coupling above a threshold ``Cth``) equivalent to "some MA
+test produces an error" — the property proven in the ICCAD'99 MAF paper
+and checked by this repository's property-based tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+from repro.soc.bus import BusDirection
+from repro.xtalk.capacitance import CapacitanceSet
+from repro.xtalk.params import LN2, ElectricalParams
+
+
+class TransitionKindBits(enum.Enum):
+    """Per-wire behaviour across one bus transition."""
+
+    STABLE0 = "stable0"
+    STABLE1 = "stable1"
+    RISING = "rising"
+    FALLING = "falling"
+
+    @property
+    def switching(self) -> bool:
+        """True for rising/falling wires."""
+        return self in (TransitionKindBits.RISING, TransitionKindBits.FALLING)
+
+
+def classify_transition(v1: int, v2: int, width: int) -> List[TransitionKindBits]:
+    """Classify each wire of the transition ``v1 -> v2``.
+
+    Wire ``i`` corresponds to bit ``i`` (the paper's "line i+1").
+    """
+    kinds = []
+    for i in range(width):
+        b1 = (v1 >> i) & 1
+        b2 = (v2 >> i) & 1
+        if b1 == b2:
+            kinds.append(
+                TransitionKindBits.STABLE1 if b1 else TransitionKindBits.STABLE0
+            )
+        elif b2:
+            kinds.append(TransitionKindBits.RISING)
+        else:
+            kinds.append(TransitionKindBits.FALLING)
+    return kinds
+
+
+def glitch_voltage(
+    caps: CapacitanceSet,
+    params: ElectricalParams,
+    wire: int,
+    kinds: Sequence[TransitionKindBits],
+) -> float:
+    """Signed glitch voltage coupled onto a *stable* ``wire``.
+
+    Positive values are upward glitches.  Returns 0.0 for a switching
+    wire (glitches are a stable-victim phenomenon in the MAF model).
+    """
+    if kinds[wire].switching:
+        return 0.0
+    injected = 0.0
+    for j, cc in caps.neighbours(wire):
+        if kinds[j] is TransitionKindBits.RISING:
+            injected += cc
+        elif kinds[j] is TransitionKindBits.FALLING:
+            injected -= cc
+    total = caps.ground[wire] + caps.net_coupling(wire)
+    return params.glitch_attenuation * params.vdd * injected / total
+
+
+def miller_factor(
+    victim_kind: TransitionKindBits, aggressor_kind: TransitionKindBits
+) -> float:
+    """Miller factor of one coupling capacitor for a switching victim."""
+    if not aggressor_kind.switching:
+        return 1.0
+    if aggressor_kind is victim_kind:
+        return 0.0
+    return 2.0
+
+
+def transition_delay(
+    caps: CapacitanceSet,
+    params: ElectricalParams,
+    wire: int,
+    kinds: Sequence[TransitionKindBits],
+    direction: BusDirection,
+) -> float:
+    """50 %-crossing delay (seconds) of a *switching* ``wire``.
+
+    Returns 0.0 for a stable wire.  Capacitances are in fF, so the raw
+    product is scaled by 1e-15 to give seconds.
+    """
+    victim_kind = kinds[wire]
+    if not victim_kind.switching:
+        return 0.0
+    c_eff = caps.ground[wire]
+    for j, cc in caps.neighbours(wire):
+        c_eff += miller_factor(victim_kind, kinds[j]) * cc
+    return LN2 * params.r_for(direction) * c_eff * 1e-15
+
+
+def worst_case_delay(
+    caps: CapacitanceSet,
+    params: ElectricalParams,
+    wire: int,
+    direction: BusDirection,
+) -> float:
+    """Delay of ``wire`` under its maximum-aggressor pattern (all
+    aggressors switching opposite to the victim)."""
+    c_eff = caps.ground[wire] + 2.0 * caps.net_coupling(wire)
+    return LN2 * params.r_for(direction) * c_eff * 1e-15
+
+
+def worst_case_glitch(
+    caps: CapacitanceSet, params: ElectricalParams, wire: int
+) -> float:
+    """Glitch magnitude of ``wire`` under its maximum-aggressor pattern
+    (all aggressors switching the same way, victim quiet)."""
+    cnet = caps.net_coupling(wire)
+    total = caps.ground[wire] + cnet
+    return params.glitch_attenuation * params.vdd * cnet / total

@@ -1,0 +1,59 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, coverage_chart
+from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.tables import format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ("name", "value"),
+        [("alpha", 1), ("b", 22)],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("name")
+    assert "alpha" in lines[3]
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(("a", "b"), [(1,)])
+
+
+def test_bar_chart():
+    text = bar_chart(["x", "longer"], [0.5, 1.0], width=10)
+    assert "#####" in text
+    assert "##########" in text
+    with pytest.raises(ValueError):
+        bar_chart(["x"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        bar_chart(["x"], [1.0], max_value=0)
+
+
+def test_bar_chart_clamps():
+    text = bar_chart(["x"], [5.0], width=10, max_value=1.0)
+    assert text.count("#") == 10
+
+
+def test_coverage_chart():
+    text = coverage_chart([(1, 0.0, 0.0), (6, 0.6, 0.9)], width=10)
+    assert "line" in text
+    assert "ind |######" in text
+    assert "cum |=========" in text
+
+
+def test_experiment_records():
+    records = [
+        ExperimentRecord("E4/Fig.11", "cumulative coverage", "100%", "100%"),
+        ExperimentRecord(
+            "E3", "tests applied", "41/48", "23/48", note="stricter allocator"
+        ),
+    ]
+    text = format_records(records, title="paper vs measured")
+    assert "E4/Fig.11" in text
+    assert "stricter allocator" in text
+    assert text.splitlines()[0] == "paper vs measured"

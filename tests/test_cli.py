@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+def test_build_addr(capsys):
+    assert main(["build", "--bus", "addr"]) == 0
+    out = capsys.readouterr().out
+    assert "tests applied" in out
+    assert "/48" in out
+
+
+def test_build_with_listing(capsys):
+    assert main(["build", "--bus", "data", "--listing"]) == 0
+    out = capsys.readouterr().out
+    assert "lda" in out or "add" in out
+
+
+def test_simulate_small(capsys):
+    assert main(["simulate", "--bus", "data", "--defects", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "detected" in out
+    assert "100.0%" in out
+
+
+def test_fig11_small(capsys):
+    assert main(["fig11", "--defects", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out
+
+
+def test_timing(capsys):
+    assert main(["timing"]) == 0
+    out = capsys.readouterr().out
+    assert "addr" in out and "data" in out
+
+
+def test_build_hex_export(tmp_path, capsys):
+    out = tmp_path / "program.hex"
+    assert main(["build", "--bus", "addr", "--hex", str(out)]) == 0
+    from repro.soc.hexfile import load_image
+
+    image = load_image(out.read_text())
+    assert image  # non-empty, checksum-valid
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        make_parser().parse_args([])

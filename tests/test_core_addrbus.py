@@ -1,0 +1,154 @@
+"""Unit tests for the address-bus fragment builders (Section 4.2)."""
+
+import pytest
+
+from repro.core.addrbus import (
+    address_footprint,
+    build_delay_fragment,
+    build_two_instruction_fragment,
+    delay_footprint,
+    glitch_footprint,
+)
+from repro.core.allocator import AllocationError
+from repro.core.assembly import ProgramAssembly
+from repro.core.maf import FaultType, MAFault, corrupted_vector, ma_vector_pair
+from repro.core.program_builder import SelfTestProgram
+from repro.core.signature import make_system
+from repro.soc.tracer import BusTracer
+
+
+def fresh_assembly():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    return assembly
+
+
+def fault_of(fault_type, victim=4):
+    return MAFault(victim=victim, fault_type=fault_type, width=12)
+
+
+def run_fragment(assembly, entry):
+    program = SelfTestProgram(
+        image=assembly.image.as_dict(), entry=entry, memory_size=4096
+    )
+    system = make_system(program)
+    tracer = BusTracer([system.address_bus])
+    result = system.run(entry=entry)
+    assert result.halted
+    return system, tracer
+
+
+def addr_transitions(tracer):
+    return {(t.previous, t.driven) for t in tracer.transactions}
+
+
+def test_delay_fragment_layout_and_transition():
+    assembly = fresh_assembly()
+    fault = fault_of(FaultType.FALLING_DELAY)  # the paper's example (df/5)
+    info = build_delay_fragment(assembly, fault)
+    assembly.finish_fragment(info.entry)
+    assembly.resolve_deferred_markers()
+    pair = ma_vector_pair(fault)
+    assert info.entry == pair.v1 - 1
+    system, tracer = run_fragment(assembly, info.entry)
+    assert (pair.v1, pair.v2) in addr_transitions(tracer)
+    # Pass marker value reaches the response byte.
+    pass_value = system.memory.read(pair.v2)
+    assert system.memory.read(info.responses[0]) == pass_value
+
+
+def test_delay_fragment_rejects_glitch_fault():
+    assembly = fresh_assembly()
+    with pytest.raises(ValueError):
+        build_delay_fragment(assembly, fault_of(FaultType.POSITIVE_GLITCH))
+
+
+def test_delay_fragment_hot_jump_window_fails_over():
+    assembly = fresh_assembly()
+    # dr line 1: v1 = 0xFFE, jump window would cover 0xFFF and 0x000.
+    with pytest.raises(AllocationError):
+        build_delay_fragment(assembly, fault_of(FaultType.RISING_DELAY, 0))
+
+
+def test_two_instruction_fragment_glitch():
+    assembly = fresh_assembly()
+    fault = fault_of(FaultType.POSITIVE_GLITCH)
+    info = build_two_instruction_fragment(assembly, fault)
+    assembly.finish_fragment(info.entry)
+    assembly.resolve_deferred_markers()
+    pair = ma_vector_pair(fault)
+    assert info.entry == (pair.v2 - 2) % 4096
+    system, tracer = run_fragment(assembly, info.entry)
+    assert (pair.v1, pair.v2) in addr_transitions(tracer)
+
+
+def test_two_instruction_detects_its_own_fault():
+    """End-to-end single-fragment check of the Fig. 7 response scheme:
+    redirecting the corrupted fetch makes the response differ."""
+    assembly = fresh_assembly()
+    fault = fault_of(FaultType.NEGATIVE_GLITCH, victim=6)
+    info = build_two_instruction_fragment(assembly, fault)
+    assembly.finish_fragment(info.entry)
+    assembly.resolve_deferred_markers()
+    pair = ma_vector_pair(fault)
+    corrupted = corrupted_vector(fault)
+
+    system, _ = run_fragment(assembly, info.entry)
+    golden_response = system.memory.read(info.responses[0])
+
+    program = SelfTestProgram(
+        image=assembly.image.as_dict(), entry=info.entry, memory_size=4096
+    )
+    faulty = make_system(program)
+
+    def glitch_hook(prev, new, direction):
+        return corrupted if (prev, new) == (pair.v1, pair.v2) else new
+
+    faulty.address_bus.install_corruption_hook(glitch_hook)
+    result = faulty.run(entry=info.entry)
+    assert result.halted
+    assert faulty.memory.read(info.responses[0]) != golden_response
+
+
+def test_delay_fragment_detects_its_own_fault():
+    assembly = fresh_assembly()
+    fault = fault_of(FaultType.FALLING_DELAY, victim=9)
+    info = build_delay_fragment(assembly, fault)
+    assembly.finish_fragment(info.entry)
+    assembly.resolve_deferred_markers()
+    pair = ma_vector_pair(fault)
+    corrupted = corrupted_vector(fault)
+
+    system, _ = run_fragment(assembly, info.entry)
+    golden_response = system.memory.read(info.responses[0])
+
+    program = SelfTestProgram(
+        image=assembly.image.as_dict(), entry=info.entry, memory_size=4096
+    )
+    faulty = make_system(program)
+    faulty.address_bus.install_corruption_hook(
+        lambda p, n, d: corrupted if (p, n) == (pair.v1, pair.v2) else n
+    )
+    result = faulty.run(entry=info.entry)
+    assert result.halted
+    assert faulty.memory.read(info.responses[0]) != golden_response
+
+
+def test_footprints_cover_pinned_bytes():
+    fault = fault_of(FaultType.RISING_DELAY, victim=5)
+    pair = ma_vector_pair(fault)
+    footprint = delay_footprint(fault)
+    for offset in (-1, 0, 1, 2):
+        assert (pair.v1 + offset) % 4096 in footprint
+    assert pair.v2 in footprint
+    assert corrupted_vector(fault) in footprint
+
+    glitch = fault_of(FaultType.NEGATIVE_GLITCH, victim=5)
+    gpair = ma_vector_pair(glitch)
+    gfoot = glitch_footprint(glitch)
+    for offset in range(-2, 4):
+        assert (gpair.v2 + offset) % 4096 in gfoot
+    # Delay faults reserve both technique windows.
+    combined = address_footprint(fault)
+    assert delay_footprint(fault) <= combined
+    assert glitch_footprint(fault) <= combined

@@ -1,0 +1,100 @@
+"""Unit tests for the glue allocator."""
+
+import pytest
+
+from repro.core.allocator import AllocationError, GlueAllocator
+from repro.core.image import MemoryImage
+
+
+def make(avoid=(), start=0x20, size=4096):
+    image = MemoryImage(size)
+    return image, GlueAllocator(image, start=start, avoid=avoid)
+
+
+def test_alloc_run_skips_used_and_avoid():
+    image, allocator = make(avoid=[0x22])
+    image.place(0x20, 1, "x")
+    start = allocator.alloc_run(2)
+    # 0x20 used, 0x22 avoided -> first clean pair is 0x23.
+    assert start == 0x23
+
+
+def test_alloc_run_is_monotonic():
+    image, allocator = make()
+    a = allocator.alloc_run(4)
+    b = allocator.alloc_run(4)
+    assert b == a + 4
+
+
+def test_alloc_run_wraps_below_start():
+    image, allocator = make(start=4090, size=4096)
+    for address in range(4090, 4096):
+        image.place(address, 0, "x")
+    start = allocator.alloc_run(3)
+    assert start < 4090
+
+
+def test_alloc_run_exhaustion():
+    image, allocator = make(size=256, start=0)
+    for address in range(256):
+        image.place(address, 0, "x")
+    with pytest.raises(AllocationError):
+        allocator.alloc_byte()
+
+
+def test_alloc_run_never_wraps_through_end():
+    image, allocator = make(size=256, start=0xF0)
+    for address in range(0xF8, 0x100):
+        image.place(address, 0, "x")
+    start = allocator.alloc_run(16)
+    assert start + 16 <= 256
+    assert start < 0xF0
+
+
+def test_find_operand_page_prefers_free_nonavoided():
+    image, allocator = make(avoid=[0x0FF])
+    page = allocator.find_operand_page(0xFF, 0x42)
+    assert page == 1  # page 0's cell is avoided
+
+
+def test_find_operand_page_shares_equal_value():
+    image, allocator = make()
+    for page in range(16):
+        image.place((page << 8) | 0x10, page, "x")
+    page = allocator.find_operand_page(0x10, 0x07)
+    assert page == 7  # only page 7 already holds the needed content
+
+
+def test_find_operand_page_exhaustion():
+    image, allocator = make(size=512)  # pages 0 and 1 only
+    image.place(0x010, 1, "x")
+    image.place(0x110, 2, "x")
+    with pytest.raises(AllocationError):
+        allocator.find_operand_page(0x10, 0x99)
+
+
+def test_find_writable_page_requires_free_cell():
+    image, allocator = make(size=512)
+    image.place(0x020, 0x42, "x")
+    assert allocator.find_writable_page(0x20) == 1
+    image.place(0x120, 0x42, "x")
+    with pytest.raises(AllocationError):
+        allocator.find_writable_page(0x20)
+
+
+def test_alloc_run_constrained_page_and_offset():
+    image, allocator = make()
+    start = allocator.alloc_run_constrained(4, page=2, offset=0x80)
+    assert start == 0x280
+    start = allocator.alloc_run_constrained(4, page=None, offset=0x90)
+    assert start & 0xFF == 0x90
+    start = allocator.alloc_run_constrained(4, page=3, offset=None)
+    assert start >> 8 == 3
+
+
+def test_alloc_run_constrained_failure():
+    image, allocator = make(size=512)
+    image.place(0x080, 1, "x")
+    image.place(0x180, 1, "x")
+    with pytest.raises(AllocationError):
+        allocator.alloc_run_constrained(2, page=None, offset=0x80)

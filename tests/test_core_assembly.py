@@ -1,0 +1,130 @@
+"""Unit tests for the program assembly (chaining, jumps, markers)."""
+
+import pytest
+
+from repro.core.assembly import ProgramAssembly
+from repro.core.image import ConflictError
+from repro.isa.encoding import Instruction, decode
+from repro.isa.instructions import Mnemonic
+
+
+def test_halt_is_self_loop():
+    assembly = ProgramAssembly()
+    halt = assembly.build_halt()
+    image = assembly.image.as_dict()
+    instruction = decode(image[halt], image[halt + 1])
+    assert instruction.mnemonic is Mnemonic.JMP
+    assert instruction.operand == halt
+
+
+def test_backward_chaining_links_fragments():
+    assembly = ProgramAssembly()
+    halt = assembly.build_halt()
+    entry = assembly.emit_code(
+        [Instruction(Mnemonic.NOP), assembly.jump_to_next()], "frag"
+    )
+    assembly.finish_fragment(entry)
+    image = assembly.image.as_dict()
+    jump = decode(image[entry + 1], image[entry + 2])
+    assert jump.operand == halt
+    assert assembly.next_entry == entry
+
+
+def test_jump_to_next_requires_halt_first():
+    assembly = ProgramAssembly()
+    with pytest.raises(RuntimeError):
+        assembly.jump_to_next()
+
+
+def test_response_bytes_are_exclusive():
+    assembly = ProgramAssembly()
+    address = assembly.new_response_byte("t1")
+    with pytest.raises(ConflictError):
+        assembly.image.place(address, 0x00, "t2")
+    assert address in assembly.response_addresses
+
+
+def test_trailing_jump_free_location():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    response = assembly.new_response_byte("t")
+    glue = assembly.emit_trailing_jump(
+        0x500, "t", [Instruction(Mnemonic.STA, operand=response)]
+    )
+    image = assembly.image.as_dict()
+    jump = decode(image[0x500], image[0x501])
+    assert jump.mnemonic is Mnemonic.JMP and jump.operand == glue
+    # Free-location glue prefers a jump-encodable start offset.
+    assert 0x80 <= (glue & 0xFF) <= 0x8F
+
+
+def test_trailing_jump_steers_to_fixed_first_byte():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    assembly.image.place(0x500, 0x83, "other")  # a direct JMP into page 3
+    response = assembly.new_response_byte("t")
+    glue = assembly.emit_trailing_jump(
+        0x500, "t", [Instruction(Mnemonic.STA, operand=response)]
+    )
+    assert glue >> 8 == 3
+
+
+def test_trailing_jump_steers_to_fixed_second_byte():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    assembly.image.place(0x501, 0x44, "other")
+    response = assembly.new_response_byte("t")
+    glue = assembly.emit_trailing_jump(
+        0x500, "t", [Instruction(Mnemonic.STA, operand=response)]
+    )
+    assert glue & 0xFF == 0x44
+
+
+def test_trailing_jump_rejects_non_jmp_first_byte():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    assembly.image.place(0x500, 0x12, "other")
+    with pytest.raises(ConflictError):
+        assembly.emit_trailing_jump(0x500, "t", [])
+
+
+def test_deferred_markers_resolution_adopts_and_places():
+    assembly = ProgramAssembly()
+    assembly.defer_marker_pair("t", 0x700, 0x701, 0x55, 0x2A)
+    assembly.image.place(0x700, 0x11, "other")  # later pin at pass cell
+    assembly.resolve_deferred_markers()
+    assert assembly.image.value_at(0x700) == 0x11  # adopted
+    assert assembly.image.value_at(0x701) == 0x2A  # placed preferred
+    assert assembly.weak_tests == []
+
+
+def test_deferred_markers_weak_when_equal():
+    assembly = ProgramAssembly()
+    assembly.defer_marker_pair("t", 0x700, 0x701, 0x55, 0x2A)
+    assembly.image.place(0x700, 0x11, "a")
+    assembly.image.place(0x701, 0x11, "b")
+    assembly.resolve_deferred_markers()
+    assert assembly.weak_tests == ["t"]
+
+
+def test_deferred_marker_cells_kept_out_of_glue():
+    assembly = ProgramAssembly(glue_start=0x700)
+    assembly.defer_marker_pair("t", 0x700, 0x701, 0x55, 0x2A)
+    run = assembly.allocator.alloc_run(2)
+    assert run >= 0x702
+
+
+def test_rollback_restores_everything():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    state = assembly.transaction_state()
+    assembly.new_response_byte("t")
+    assembly.defer_marker_pair("t", 0x700, 0x701, 0x55, 0x2A)
+    assembly.emit_code([Instruction(Mnemonic.NOP)], "t")
+    assembly.finish_fragment(0x123)
+    assembly.rollback(state)
+    assert assembly.response_addresses == []
+    assert assembly.deferred_markers == []
+    assert assembly.marker_addresses == set()
+    assert assembly.next_entry != 0x123
+    assert 0x700 not in assembly.allocator.avoid

@@ -1,0 +1,74 @@
+"""Tests for the defect simulation campaign (Fig. 9 / Fig. 11)."""
+
+import pytest
+
+from repro.core.coverage import DefectSimulator, address_bus_line_coverage
+
+
+@pytest.fixture(scope="module")
+def address_simulator(address_setup, address_program):
+    return DefectSimulator(
+        address_program,
+        address_setup.params,
+        address_setup.calibration,
+        bus="addr",
+    )
+
+
+def test_bus_argument_validated(address_setup, address_program):
+    with pytest.raises(ValueError):
+        DefectSimulator(
+            address_program,
+            address_setup.params,
+            address_setup.calibration,
+            bus="ctrl",
+        )
+
+
+def test_single_defect_outcomes(address_setup, address_simulator):
+    outcome = address_simulator.simulate(address_setup.library[0])
+    assert outcome.defect_index == 0
+    assert isinstance(outcome.detected, bool)
+
+
+def test_full_program_coverage_high(address_setup, address_simulator):
+    # Paper: "the defect coverage of the test program is 100% on both
+    # address and data busses."
+    coverage = address_simulator.coverage(address_setup.library)
+    assert coverage >= 0.95
+
+
+def test_data_bus_coverage_full(data_setup, data_program):
+    simulator = DefectSimulator(
+        data_program, data_setup.params, data_setup.calibration, bus="data"
+    )
+    assert simulator.coverage(data_setup.library) == 1.0
+
+
+def test_fig11_shape(address_setup, builder, address_program):
+    report = address_bus_line_coverage(
+        address_setup.library,
+        address_setup.params,
+        address_setup.calibration,
+        builder=builder,
+        full_program=address_program,
+    )
+    lines = {line.line: line for line in report.lines}
+    # Side lines have no individual coverage (paper: lines 1, 2, 11, 12).
+    assert lines[1].individual == 0.0
+    assert lines[2].individual == 0.0
+    assert lines[11].individual == 0.0
+    assert lines[12].individual == 0.0
+    # Center lines dominate.
+    assert lines[6].individual > 0.3
+    # Cumulative coverage is monotone and reaches ~100 %.
+    values = [line.cumulative for line in report.lines]
+    assert values == sorted(values)
+    assert report.cumulative_coverage >= 0.95
+    assert report.full_program_coverage >= 0.95
+    assert report.as_rows()[0]["line"] == 1
+
+
+def test_detected_set_is_subset_of_library(address_setup, address_simulator):
+    detected = address_simulator.detected_set(address_setup.library)
+    assert detected <= {d.index for d in address_setup.library}

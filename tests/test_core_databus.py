@@ -1,0 +1,143 @@
+"""Unit tests for the data-bus fragment builders (Sections 4.1/4.3)."""
+
+import pytest
+
+from repro.core.assembly import ProgramAssembly
+from repro.core.databus import (
+    build_read_group_compacted,
+    build_read_test,
+    build_write_test,
+)
+from repro.core.maf import FaultType, MAFault, ma_vector_pair
+from repro.core.program_builder import SelfTestProgramBuilder
+from repro.core.signature import capture_golden, make_system
+from repro.core.validate import validate_applied_tests
+from repro.soc.bus import BusDirection
+from repro.soc.tracer import BusTracer
+
+
+def fresh_assembly():
+    assembly = ProgramAssembly()
+    assembly.build_halt()
+    return assembly
+
+
+def read_fault(victim=7, fault_type=FaultType.RISING_DELAY):
+    return MAFault(
+        victim=victim,
+        fault_type=fault_type,
+        width=8,
+        direction=BusDirection.MEM_TO_CPU,
+    )
+
+
+def write_fault(victim=7, fault_type=FaultType.RISING_DELAY):
+    return MAFault(
+        victim=victim,
+        fault_type=fault_type,
+        width=8,
+        direction=BusDirection.CPU_TO_MEM,
+    )
+
+
+def run_fragment(assembly, entry):
+    from repro.core.program_builder import SelfTestProgram
+
+    program = SelfTestProgram(
+        image=assembly.image.as_dict(), entry=entry, memory_size=4096
+    )
+    system = make_system(program)
+    tracer = BusTracer([system.data_bus])
+    result = system.run(entry=entry)
+    assert result.halted
+    return system, tracer
+
+
+def test_read_test_applies_pair_on_data_bus():
+    assembly = fresh_assembly()
+    fault = read_fault()
+    info = build_read_test(assembly, fault)
+    system, tracer = run_fragment(assembly, info.entry)
+    pair = ma_vector_pair(fault)
+    transitions = [
+        (t.previous, t.driven)
+        for t in tracer.transactions
+        if t.direction is BusDirection.MEM_TO_CPU
+    ]
+    assert (pair.v1, pair.v2) in transitions
+    # The loaded second vector lands in the response byte.
+    assert system.memory.read(info.responses[0]) == pair.v2
+
+
+def test_write_test_drives_v2_from_cpu():
+    assembly = fresh_assembly()
+    fault = write_fault(victim=0, fault_type=FaultType.POSITIVE_GLITCH)
+    info = build_write_test(assembly, fault)
+    system, tracer = run_fragment(assembly, info.entry)
+    pair = ma_vector_pair(fault)
+    cpu_transitions = [
+        (t.previous, t.driven)
+        for t in tracer.transactions
+        if t.direction is BusDirection.CPU_TO_MEM
+    ]
+    assert (pair.v1, pair.v2) in cpu_transitions
+    # Self-storing response: v2 sits at the written cell.
+    assert system.memory.read(info.responses[0]) == pair.v2
+
+
+def test_compacted_group_signature_is_sum():
+    assembly = fresh_assembly()
+    faults = [read_fault(victim=v) for v in range(8)]
+    info = build_read_group_compacted(assembly, faults)
+    system, tracer = run_fragment(assembly, info.entry)
+    # Fig. 8: rising-delay contributions are one-hot, pass signature 0xFF.
+    assert system.memory.read(info.responses[0]) == 0xFF
+
+
+def test_compacted_group_applies_every_pair():
+    assembly = fresh_assembly()
+    faults = [read_fault(victim=v) for v in range(8)]
+    info = build_read_group_compacted(assembly, faults)
+    system, tracer = run_fragment(assembly, info.entry)
+    transitions = {
+        (t.previous, t.driven)
+        for t in tracer.transactions
+        if t.direction is BusDirection.MEM_TO_CPU
+    }
+    for fault in faults:
+        pair = ma_vector_pair(fault)
+        assert (pair.v1, pair.v2) in transitions
+
+
+def test_group_rejects_empty_and_wrong_direction():
+    assembly = fresh_assembly()
+    with pytest.raises(ValueError):
+        build_read_group_compacted(assembly, [])
+    with pytest.raises(ValueError):
+        build_read_test(assembly, write_fault())
+    with pytest.raises(ValueError):
+        build_write_test(assembly, read_fault())
+
+
+def test_full_data_program_matches_paper_counts(data_program):
+    # "we were able to apply 64 out of 64 MA tests for the databus"
+    assert len(data_program.applied) == 64
+    assert data_program.skipped == []
+    report = validate_applied_tests(data_program)
+    assert report.all_confirmed
+
+
+def test_data_program_without_compaction():
+    builder = SelfTestProgramBuilder(compact_data_bus=False)
+    program = builder.build_data_bus_program()
+    assert len(program.applied) == 64
+    golden = capture_golden(program)
+    assert golden.cycles > 0
+    report = validate_applied_tests(program)
+    assert report.all_confirmed
+
+
+def test_compaction_shrinks_program(data_program):
+    builder = SelfTestProgramBuilder(compact_data_bus=False)
+    uncompacted = builder.build_data_bus_program()
+    assert data_program.program_size < uncompacted.program_size

@@ -1,0 +1,99 @@
+"""Tests for response-based fault diagnosis (Section 4.3)."""
+
+import pytest
+
+from repro.core.coverage import DefectSimulator
+from repro.core.diagnosis import (
+    DiagnosisReport,
+    diagnose,
+    diagnosis_accuracy,
+)
+from repro.core.signature import capture_golden, make_system
+from repro.xtalk.error_model import CrosstalkErrorModel
+
+
+@pytest.fixture(scope="module")
+def golden_addr(address_program):
+    return capture_golden(address_program)
+
+
+def run_with_defect(program, golden, setup, defect):
+    system = make_system(program)
+    model = CrosstalkErrorModel(defect.caps, setup.params, setup.calibration)
+    system.address_bus.install_corruption_hook(model.corrupt)
+    result = system.run(entry=program.entry, max_cycles=golden.max_cycles)
+    return system, result.halted
+
+
+def test_clean_run_produces_no_evidence(address_program, golden_addr):
+    system = make_system(address_program)
+    result = system.run(entry=address_program.entry)
+    report = diagnose(address_program, golden_addr, system, result.halted)
+    assert report.implications == []
+    assert report.prime_suspect() is None
+
+
+def test_timeout_reported(address_program, golden_addr):
+    system = make_system(address_program)
+    report = diagnose(address_program, golden_addr, system, halted=False)
+    assert report.timed_out
+    assert report.suspected_faults == []
+
+
+def test_defect_implicates_tests(address_setup, address_program, golden_addr):
+    defect = max(address_setup.library, key=lambda d: d.severity)
+    system, halted = run_with_defect(
+        address_program, golden_addr, address_setup, defect
+    )
+    report = diagnose(address_program, golden_addr, system, halted)
+    if not halted:
+        pytest.skip("severe defect hung the CPU; nothing to localize")
+    assert report.implications
+    votes = report.victim_votes()
+    assert sum(votes.values()) == len(report.implications)
+
+
+def test_diagnosis_localizes_defective_wires(
+    address_setup, address_program, golden_addr
+):
+    """Across the library, the prime suspect should usually be on or next
+    to a defective wire (a coupling defect straddles two wires)."""
+    pairs = []
+    for defect in list(address_setup.library)[:30]:
+        system, halted = run_with_defect(
+            address_program, golden_addr, address_setup, defect
+        )
+        if not halted:
+            continue
+        report = diagnose(address_program, golden_addr, system, halted)
+        pairs.append((report, defect.defective_wires))
+    accuracy = diagnosis_accuracy(pairs)
+    assert accuracy >= 0.7
+
+
+def test_signature_bit_attribution(data_setup, data_program):
+    """A data-bus defect flips compacted-signature bits that map back to
+    the family tests of the affected wires."""
+    golden = capture_golden(data_program)
+    # Mild defects leave the instruction stream intact; scan for one that
+    # halts and flips a signature.
+    for defect in sorted(data_setup.library, key=lambda d: d.severity):
+        system = make_system(data_program)
+        model = CrosstalkErrorModel(
+            defect.caps, data_setup.params, data_setup.calibration
+        )
+        system.data_bus.install_corruption_hook(model.corrupt)
+        result = system.run(
+            entry=data_program.entry, max_cycles=golden.max_cycles
+        )
+        if not result.halted:
+            continue
+        report = diagnose(data_program, golden, system, result.halted)
+        if any("signature bit" in i.via for i in report.implications):
+            return
+    pytest.fail("no halting defect produced a signature-bit implication")
+
+
+def test_accuracy_of_empty_input():
+    assert diagnosis_accuracy([]) == 0.0
+    assert diagnosis_accuracy([(DiagnosisReport(), (1,))]) == 0.0

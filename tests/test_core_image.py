@@ -1,0 +1,100 @@
+"""Unit tests for the conflict-checked memory image."""
+
+import pytest
+
+from repro.core.image import ConflictError, MemoryImage
+
+
+def test_place_and_share():
+    image = MemoryImage(256)
+    image.place(10, 0x42, "a")
+    image.place(10, 0x42, "b")  # same value shares
+    assert image.value_at(10) == 0x42
+    assert image.owner_at(10) == "a"
+    assert 10 in image
+
+
+def test_conflicting_value_raises():
+    image = MemoryImage(256)
+    image.place(10, 0x42, "a", role="data")
+    with pytest.raises(ConflictError) as info:
+        image.place(10, 0x43, "b")
+    assert info.value.address == 10
+    assert "a" in str(info.value)
+
+
+def test_exclusive_bytes_never_share():
+    image = MemoryImage(256)
+    image.place(5, 0x00, "resp", exclusive=True)
+    with pytest.raises(ConflictError):
+        image.place(5, 0x00, "other")
+    image.place(6, 0x00, "other")
+    with pytest.raises(ConflictError):
+        image.place(6, 0x00, "resp2", exclusive=True)
+
+
+def test_reserve_and_patch():
+    image = MemoryImage(256)
+    image.reserve(20, "jmp")
+    with pytest.raises(ConflictError):
+        image.place(20, 0x80, "other")
+    with pytest.raises(ValueError):
+        image.as_dict()  # unpatched
+    image.patch(20, 0x85, "jmp")
+    assert image.as_dict()[20] == 0x85
+
+
+def test_patch_ownership_and_state():
+    image = MemoryImage(256)
+    image.reserve(20, "jmp")
+    with pytest.raises(ValueError):
+        image.patch(20, 1, "stranger")
+    image.patch(20, 1, "jmp")
+    with pytest.raises(ValueError):
+        image.patch(20, 2, "jmp")  # no longer pending
+
+
+def test_place_flexible_adopts_existing():
+    image = MemoryImage(256)
+    image.place(30, 0x77, "a")
+    value = image.place_flexible(30, "b", preferred=0x01)
+    assert value == 0x77
+
+
+def test_place_flexible_respects_avoid_and_allowed():
+    image = MemoryImage(256)
+    value = image.place_flexible(31, "a", preferred=0x01, avoid=(0x01, 0x02))
+    assert value == 0x03
+    value = image.place_flexible(
+        32, "a", preferred=0x05, allowed=(0xF0, 0xF1), avoid=(0xF0,)
+    )
+    assert value == 0xF1
+    image.place(33, 0x50, "x")
+    with pytest.raises(ConflictError):
+        image.place_flexible(33, "b", avoid=(0x50,))
+    with pytest.raises(ConflictError):
+        image.place_flexible(33, "b", allowed=(0x10,))
+
+
+def test_wrapping_addresses():
+    image = MemoryImage(256)
+    image.place(256 + 5, 1, "a")
+    assert image.value_at(5) == 1
+
+
+def test_snapshot_restore_roundtrip():
+    image = MemoryImage(256)
+    image.place(1, 0x11, "a")
+    state = image.snapshot_state()
+    image.place(2, 0x22, "b")
+    image.reserve(3, "c")
+    image.restore_state(state)
+    assert image.value_at(2) is None
+    assert image.is_free(3)
+    assert image.value_at(1) == 0x11
+
+
+def test_provenance_roles():
+    image = MemoryImage(256)
+    image.place(9, 0x01, "t1", role="marker")
+    assert image.provenance()[9].role == "marker"

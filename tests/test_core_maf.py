@@ -1,0 +1,109 @@
+"""Unit tests for the MAF model and MA test generation (Fig. 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.maf import (
+    FaultType,
+    MAFault,
+    corrupted_vector,
+    enumerate_bus_faults,
+    ma_vector_pair,
+)
+from repro.soc.bus import BusDirection
+
+
+def test_fault_counts_match_paper():
+    # "there are 64 MAFs on the 8-bit bi-directional data bus (8 x 4 x 2)
+    # and 48 MAFs on the 12-bit address bus (12 x 4)"
+    address = enumerate_bus_faults(12)
+    data = enumerate_bus_faults(
+        8, (BusDirection.MEM_TO_CPU, BusDirection.CPU_TO_MEM)
+    )
+    assert len(address) == 48
+    assert len(data) == 64
+
+
+def test_paper_example_vectors():
+    # Section 4.1: positive glitch test (00000000, 11110111) targets line 4.
+    fault = MAFault(victim=3, fault_type=FaultType.POSITIVE_GLITCH, width=8)
+    pair = ma_vector_pair(fault)
+    assert pair.v1 == 0b00000000
+    assert pair.v2 == 0b11110111
+    # Section 4.3: rising delay on line 8 -> (01111111, 10000000).
+    fault = MAFault(victim=7, fault_type=FaultType.RISING_DELAY, width=8)
+    pair = ma_vector_pair(fault)
+    assert (pair.v1, pair.v2) == (0b01111111, 0b10000000)
+    # Section 4.2.1: falling delay (0000:00010000, 1111:11101111) = line 5.
+    fault = MAFault(victim=4, fault_type=FaultType.FALLING_DELAY, width=12)
+    pair = ma_vector_pair(fault)
+    assert (pair.v1, pair.v2) == (0x010, 0xFEF)
+
+
+def test_negative_glitch_vectors():
+    fault = MAFault(victim=2, fault_type=FaultType.NEGATIVE_GLITCH, width=8)
+    pair = ma_vector_pair(fault)
+    assert pair.v1 == 0xFF
+    assert pair.v2 == 0b00000100
+
+
+def test_corrupted_vector_semantics():
+    width = 12
+    gp = MAFault(victim=4, fault_type=FaultType.POSITIVE_GLITCH, width=width)
+    assert corrupted_vector(gp) == 0xFFF  # stable-0 victim glitches high
+    gn = MAFault(victim=4, fault_type=FaultType.NEGATIVE_GLITCH, width=width)
+    assert corrupted_vector(gn) == 0x000
+    dr = MAFault(victim=4, fault_type=FaultType.RISING_DELAY, width=width)
+    assert corrupted_vector(dr) == 0x000  # late victim sampled at old 0
+    df = MAFault(victim=4, fault_type=FaultType.FALLING_DELAY, width=width)
+    assert corrupted_vector(df) == 0xFFF
+
+
+def test_fault_naming():
+    fault = MAFault(
+        victim=0,
+        fault_type=FaultType.RISING_DELAY,
+        width=8,
+        direction=BusDirection.MEM_TO_CPU,
+    )
+    assert fault.line == 1
+    assert fault.name == "dr/line1/mem_to_cpu"
+
+
+def test_victim_bounds():
+    with pytest.raises(ValueError):
+        MAFault(victim=12, fault_type=FaultType.RISING_DELAY, width=12)
+
+
+def test_vector_pair_bounds():
+    from repro.core.maf import VectorPair
+
+    with pytest.raises(ValueError):
+        VectorPair(v1=256, v2=0, width=8)
+
+
+@given(
+    victim=st.integers(0, 11),
+    fault_type=st.sampled_from(list(FaultType)),
+)
+def test_ma_pair_structure(victim, fault_type):
+    """Every MA pair sensitizes the victim and switches all aggressors
+    the same way — the defining structure of Fig. 1."""
+    width = 12
+    fault = MAFault(victim=victim, fault_type=fault_type, width=width)
+    pair = ma_vector_pair(fault)
+    bit = 1 << victim
+    changed = pair.v1 ^ pair.v2
+    if fault_type.is_glitch:
+        assert not changed & bit  # victim stable
+        assert changed == ((1 << width) - 1) & ~bit  # all aggressors switch
+    else:
+        assert changed == (1 << width) - 1  # everything switches
+        # Victim switches opposite to all aggressors.
+        victim_rises = bool(pair.v2 & bit)
+        for aggressor in range(width):
+            if aggressor == victim:
+                continue
+            assert bool(pair.v2 & (1 << aggressor)) != victim_rises
+    # The corrupted vector differs from v2 exactly on the victim.
+    assert corrupted_vector(fault) ^ pair.v2 == bit

@@ -1,0 +1,103 @@
+"""Tests for whole-program construction (Section 4 + Section 5 counts)."""
+
+from repro.core.maf import FaultType
+from repro.core.program_builder import SelfTestProgramBuilder
+from repro.core.signature import capture_golden
+from repro.core.validate import validate_applied_tests
+
+
+def test_address_program_applies_majority_with_conflicts(address_program):
+    # The paper applied 41/48 in one program; our stricter byte-exact
+    # accounting lands lower but the structure is the same: most tests
+    # apply, the rest are skipped with recorded conflicts.
+    assert len(address_program.applied) + len(address_program.skipped) == 48
+    assert len(address_program.applied) >= 20
+    assert address_program.skipped  # conflicts exist, as in the paper
+    for skipped in address_program.skipped:
+        assert skipped.reason
+
+
+def test_every_applied_address_test_is_observable(address_program):
+    report = validate_applied_tests(address_program)
+    assert report.all_confirmed
+
+
+def test_program_halts_and_is_deterministic(address_program):
+    golden_a = capture_golden(address_program)
+    golden_b = capture_golden(address_program)
+    assert golden_a.snapshot == golden_b.snapshot
+    assert golden_a.cycles == golden_b.cycles
+
+
+def test_combined_program(combined_program):
+    addr = [t for t in combined_program.applied if t.fault.direction is None]
+    data = [t for t in combined_program.applied if t.fault.direction is not None]
+    assert len(addr) >= 20
+    assert len(data) >= 40
+    report = validate_applied_tests(combined_program)
+    assert report.all_confirmed
+
+
+def test_total_cycles_in_paper_ballpark(builder, address_program, data_program):
+    # Paper: "The total execution time of the programs is 1720 processor
+    # cycles."  Our control unit differs in detail, so we check the
+    # magnitude (same order, within a factor of ~1.5).
+    total = (
+        capture_golden(address_program).cycles
+        + capture_golden(data_program).cycles
+    )
+    assert 1000 <= total <= 2600
+
+
+def test_program_size_scales_with_test_count(builder, address_program):
+    few = builder.build_address_bus_program(
+        [f for f in builder.address_faults() if f.victim < 3]
+    )
+    assert few.program_size < address_program.program_size
+
+
+def test_skip_reasons_mention_owner_or_window(address_program):
+    for skipped in address_program.skipped:
+        assert skipped.fault.name.split("/")[0] in (
+            "gp",
+            "gn",
+            "dr",
+            "df",
+        )
+
+
+def test_empty_fault_sets():
+    builder = SelfTestProgramBuilder()
+    program = builder.build(address_faults=(), data_faults=())
+    assert program.applied == []
+    golden = capture_golden(program)  # just the halt loop
+    assert golden.instructions == 1
+
+
+def test_applied_list_in_execution_order(combined_program):
+    # Data-write tests execute first, address tests last (reverse of the
+    # build priority).
+    kinds = [
+        "addr" if t.fault.direction is None else "data"
+        for t in combined_program.applied
+    ]
+    assert kinds[0] == "data"
+    assert kinds[-1] == "addr"
+
+
+def test_address_order_given_mode():
+    builder = SelfTestProgramBuilder(address_order="given")
+    faults = [
+        f
+        for f in builder.address_faults()
+        if f.fault_type is FaultType.RISING_DELAY
+    ]
+    program = builder.build_address_bus_program(list(reversed(faults)))
+    assert len(program.applied) >= 10
+
+
+def test_invalid_address_order_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        SelfTestProgramBuilder(address_order="chaotic")

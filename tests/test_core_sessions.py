@@ -1,0 +1,59 @@
+"""Tests for multi-session scheduling of conflicting tests."""
+
+import pytest
+
+from repro.core.maf import FaultType
+from repro.core.sessions import build_sessions
+from repro.core.validate import validate_applied_tests
+
+
+@pytest.fixture(scope="module")
+def address_plan(builder):
+    return build_sessions(builder, data_faults=())
+
+
+def test_sessions_recover_skipped_tests(address_plan):
+    # Paper: "This problem can be solved by separating conflicting tests
+    # into multiple test programs, which can be executed in different
+    # sessions."
+    assert address_plan.session_count >= 2
+    assert address_plan.applied_total >= 46
+
+
+def test_no_fault_applied_twice(address_plan):
+    seen = set()
+    for program in address_plan.programs:
+        for fault in program.applied_faults:
+            assert fault not in seen
+            seen.add(fault)
+
+
+def test_unapplicable_faults_are_structural(address_plan):
+    # The handful of leftovers cannot be placed even alone (their
+    # corrupted target collides with their own instruction bytes).
+    for fault in address_plan.unapplicable:
+        assert fault.fault_type in (
+            FaultType.POSITIVE_GLITCH,
+            FaultType.NEGATIVE_GLITCH,
+        )
+    assert len(address_plan.unapplicable) <= 3
+
+
+def test_every_session_is_valid(address_plan):
+    for program in address_plan.programs:
+        report = validate_applied_tests(program)
+        assert report.all_confirmed
+
+
+def test_data_bus_needs_single_session(builder):
+    plan = build_sessions(builder, address_faults=())
+    assert plan.session_count == 1
+    assert plan.applied_total == 64
+    assert plan.unapplicable == []
+
+
+def test_max_sessions_bound(builder):
+    plan = build_sessions(builder, data_faults=(), max_sessions=1)
+    assert plan.session_count == 1
+    # Leftovers are reported as unapplicable-within-budget.
+    assert len(plan.unapplicable) == 48 - plan.applied_total

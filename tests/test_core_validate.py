@@ -1,0 +1,51 @@
+"""Tests for post-build transition validation."""
+
+import pytest
+
+from repro.core.maf import FaultType, MAFault
+from repro.core.program_builder import AppliedTest, SelfTestProgram
+from repro.core.validate import (
+    observed_transitions,
+    transition_direction_of,
+    validate_applied_tests,
+)
+from repro.soc.bus import BusDirection
+
+
+def test_observed_transitions_of_trivial_program():
+    program = SelfTestProgram(
+        image={0x10: 0x80, 0x11: 0x10}, entry=0x10, memory_size=4096
+    )
+    address_t, data_t, halted, cycles = observed_transitions(program)
+    assert halted
+    assert (0x10, 0x11) in address_t
+
+
+def test_validation_flags_fabricated_claim():
+    # A program that claims to apply a test it never does.
+    program = SelfTestProgram(
+        image={0x10: 0x80, 0x11: 0x10}, entry=0x10, memory_size=4096
+    )
+    fault = MAFault(victim=5, fault_type=FaultType.RISING_DELAY, width=12)
+    program.applied.append(AppliedTest(fault, "addr/delay", 0, ()))
+    report = validate_applied_tests(program)
+    assert not report.all_confirmed
+    assert report.missing == [fault]
+
+
+def test_direction_helper():
+    data_fault = MAFault(
+        victim=0,
+        fault_type=FaultType.RISING_DELAY,
+        width=8,
+        direction=BusDirection.CPU_TO_MEM,
+    )
+    assert transition_direction_of(data_fault) is BusDirection.CPU_TO_MEM
+    addr_fault = MAFault(victim=0, fault_type=FaultType.RISING_DELAY, width=12)
+    with pytest.raises(ValueError):
+        transition_direction_of(addr_fault)
+
+
+def test_validation_of_real_programs(address_program, data_program):
+    assert validate_applied_tests(address_program).all_confirmed
+    assert validate_applied_tests(data_program).all_confirmed

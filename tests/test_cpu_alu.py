@@ -1,0 +1,109 @@
+"""Unit and property tests for the ALU."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.alu import (
+    alu_add,
+    alu_and,
+    alu_asl,
+    alu_asr,
+    alu_complement,
+    alu_sub,
+)
+
+bytes_ = st.integers(0, 255)
+
+
+def test_add_basic():
+    result = alu_add(0x21, 0x12)
+    assert result.value == 0x33
+    assert not result.c and not result.v and not result.z and not result.n
+
+
+def test_add_carry_and_zero():
+    result = alu_add(0xFF, 0x01)
+    assert result.value == 0x00
+    assert result.c and result.z
+
+
+def test_add_signed_overflow():
+    result = alu_add(0x7F, 0x01)  # +127 + 1 -> -128
+    assert result.value == 0x80
+    assert result.v and result.n and not result.c
+
+
+def test_sub_no_borrow_sets_carry():
+    result = alu_sub(5, 3)
+    assert result.value == 2
+    assert result.c  # no borrow
+
+
+def test_sub_borrow_clears_carry():
+    result = alu_sub(3, 5)
+    assert result.value == 0xFE
+    assert not result.c
+    assert result.n
+
+
+def test_sub_overflow():
+    result = alu_sub(0x80, 0x01)  # -128 - 1 overflows
+    assert result.v
+
+
+def test_and_only_zn():
+    result = alu_and(0xF0, 0x0F)
+    assert result.value == 0
+    assert result.z
+    assert result.v is None and result.c is None
+
+
+def test_asl():
+    result = alu_asl(0b1100_0001)
+    assert result.value == 0b1000_0010
+    assert result.c  # bit 7 shifted out
+    assert not result.v  # sign unchanged (1 -> 1)
+
+
+def test_asl_sign_change_sets_v():
+    result = alu_asl(0b0100_0000)
+    assert result.value == 0b1000_0000
+    assert result.v and not result.c
+
+
+def test_asr_preserves_sign():
+    result = alu_asr(0b1000_0011)
+    assert result.value == 0b1100_0001
+    assert result.c  # bit 0 out
+
+
+def test_complement():
+    result = alu_complement(0x0F)
+    assert result.value == 0xF0
+    assert result.n and not result.z
+
+
+@given(bytes_, bytes_)
+def test_add_matches_integer_arithmetic(a, b):
+    result = alu_add(a, b)
+    assert result.value == (a + b) & 0xFF
+    assert result.c == (a + b > 0xFF)
+    assert result.z == (((a + b) & 0xFF) == 0)
+
+
+@given(bytes_, bytes_)
+def test_sub_matches_integer_arithmetic(a, b):
+    result = alu_sub(a, b)
+    assert result.value == (a - b) & 0xFF
+    assert result.c == (a >= b)
+
+
+@given(bytes_)
+def test_double_complement_is_identity(a):
+    assert alu_complement(alu_complement(a).value).value == a
+
+
+@given(bytes_)
+def test_asr_of_asl_low_bits(a):
+    # shifting left then right preserves bits 0..5 and the (new) sign.
+    shifted = alu_asr(alu_asl(a).value).value
+    assert shifted & 0x3F == a & 0x3F

@@ -1,0 +1,86 @@
+"""Unit tests for control sequencing and permissive decode."""
+
+from hypothesis import given, strategies as st
+
+from repro.cpu.control import (
+    ControlState,
+    OpClass,
+    decode_raw,
+    expected_cycles,
+    state_after_decode,
+    state_after_operand_formed,
+)
+from repro.isa.instructions import Mnemonic
+
+
+def test_decode_memref_classes():
+    assert decode_raw(0x00).op_class is OpClass.MEMREF_READ  # LDA
+    assert decode_raw(0x20).op_class is OpClass.MEMREF_READ  # AND
+    assert decode_raw(0x40).op_class is OpClass.MEMREF_READ  # ADD
+    assert decode_raw(0x60).op_class is OpClass.MEMREF_READ  # SUB
+    assert decode_raw(0x80).op_class is OpClass.JUMP
+    assert decode_raw(0xA0).op_class is OpClass.MEMREF_WRITE
+    assert decode_raw(0xC0).op_class is OpClass.JSR
+
+
+def test_decode_page_and_indirect():
+    decoded = decode_raw(0b000_1_0111)
+    assert decoded.indirect
+    assert decoded.page == 7
+
+
+def test_jsr_ignores_indirect_bit():
+    assert not decode_raw(0b110_1_0000).indirect
+
+
+def test_decode_branch_mask():
+    decoded = decode_raw(0b1110_1010)
+    assert decoded.op_class is OpClass.BRANCH
+    assert decoded.branch_mask == 0b1010
+
+
+def test_decode_implied_known_and_unknown():
+    assert decode_raw(0xF1).mnemonic is Mnemonic.CLA
+    # Undefined sub-opcodes fall back to NOP (hardware-like robustness
+    # against corrupted opcode fetches).
+    assert decode_raw(0xF5).mnemonic is Mnemonic.NOP
+    assert decode_raw(0xFF).mnemonic is Mnemonic.NOP
+
+
+@given(st.integers(0, 255))
+def test_every_byte_decodes(byte):
+    decoded = decode_raw(byte)
+    assert decoded.op_class in OpClass
+
+
+def test_state_after_decode():
+    assert state_after_decode(decode_raw(0xF0)) is ControlState.EXECUTE_IMPLIED
+    assert state_after_decode(decode_raw(0x00)) is ControlState.FETCH2_ADDR
+
+
+def test_state_after_operand_formed():
+    assert (
+        state_after_operand_formed(decode_raw(0x00))
+        is ControlState.OPERAND_ADDR
+    )
+    assert (
+        state_after_operand_formed(decode_raw(0xA0))
+        is ControlState.WRITE_ADDR
+    )
+    assert (
+        state_after_operand_formed(decode_raw(0x80))
+        is ControlState.EXECUTE_JUMP
+    )
+    assert (
+        state_after_operand_formed(decode_raw(0xE1))
+        is ControlState.EXECUTE_BRANCH
+    )
+
+
+def test_expected_cycles_table():
+    assert expected_cycles(decode_raw(0xF0)) == 4  # implied
+    assert expected_cycles(decode_raw(0x80)) == 6  # jmp
+    assert expected_cycles(decode_raw(0x00)) == 8  # lda direct
+    assert expected_cycles(decode_raw(0x10)) == 10  # lda indirect
+    assert expected_cycles(decode_raw(0xA0)) == 7  # sta
+    assert expected_cycles(decode_raw(0xC0)) == 8  # jsr

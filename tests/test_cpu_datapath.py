@@ -1,0 +1,202 @@
+"""Datapath tests: instruction semantics and cycle-accurate timing."""
+
+import pytest
+
+from repro.cpu.control import expected_cycles, decode_raw
+from repro.isa.assembler import assemble
+from repro.soc.system import CpuMemorySystem
+from repro.soc.tracer import BusTracer
+
+
+def run_source(source, max_cycles=10_000):
+    system = CpuMemorySystem()
+    program = assemble(source)
+    system.load_image(program.image)
+    result = system.run(entry=program.entry, max_cycles=max_cycles)
+    return system, program, result
+
+
+def test_lda_sta_roundtrip():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        lda src
+        sta dst
+halt:   jmp halt
+src:    .byte 0xA7
+dst:    .byte 0x00
+        """
+    )
+    assert result.halted
+    assert system.memory.read(program.symbols["dst"]) == 0xA7
+
+
+def test_add_sets_flags_and_accumulates():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        cla
+        add a
+        add b
+        sta out
+halt:   jmp halt
+a:      .byte 0xF0
+b:      .byte 0x20
+out:    .byte 0
+        """
+    )
+    assert system.memory.read(program.symbols["out"]) == 0x10
+    assert system.cpu.registers.flags.c  # 0xF0 + 0x20 carries
+
+
+def test_sub_and_branch_on_zero():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        lda a
+        sub a
+        bra_z taken
+        lda fail
+        sta out
+        jmp halt
+taken:  lda ok
+        sta out
+halt:   jmp halt
+a:      .byte 0x33
+ok:     .byte 0x01
+fail:   .byte 0xFF
+out:    .byte 0
+        """
+    )
+    assert system.memory.read(program.symbols["out"]) == 0x01
+
+
+def test_branch_not_taken_falls_through():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        cla
+        bra_n taken
+        lda ok
+        sta out
+        jmp halt
+taken:  lda fail
+        sta out
+halt:   jmp halt
+ok:     .byte 0x5A
+fail:   .byte 0xFF
+out:    .byte 0
+        """
+    )
+    assert system.memory.read(program.symbols["out"]) == 0x5A
+
+
+def test_indirect_load():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        lda@ ptr
+        sta out
+halt:   jmp halt
+        .org 0x40
+ptr:    .byte 0x80        ; points to 0:0x80 (same page as ptr)
+        .org 0x80
+val:    .byte 0x99
+        .org 0x90
+out:    .byte 0
+        """
+    )
+    assert system.memory.read(program.symbols["out"]) == 0x99
+
+
+def test_jsr_saves_return_offset_and_jumps():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        jsr sub
+after:  sta out
+halt:   jmp halt
+        .org 0x40
+sub:    .byte 0           ; return-offset slot
+        lda val
+        jmp@ sub          ; return via stored offset (same page trick)
+val:    .byte 0x23
+        .org 0x90
+out:    .byte 0
+        """,
+    )
+    # jsr stores offset of "after" (0x12) at sub, then executes sub+1.
+    assert system.memory.read(program.symbols["sub"]) == 0x12
+    # jmp@ sub jumps to page(sub):M[sub] = 0:0x12 = after.
+    assert system.memory.read(program.symbols["out"]) == 0x23
+
+
+def test_implied_operations():
+    system, program, result = run_source(
+        """
+        .org 0x10
+        lda a
+        cma
+        asl
+        sta out
+halt:   jmp halt
+a:      .byte 0b00001111
+out:    .byte 0
+        """
+    )
+    # ~0x0F = 0xF0, <<1 = 0xE0
+    assert system.memory.read(program.symbols["out"]) == 0xE0
+
+
+def test_halt_convention_self_loop():
+    system, program, result = run_source("halt: jmp halt")
+    assert result.halted
+    assert system.cpu.halted
+
+
+def test_timeout_on_endless_non_self_loop():
+    system, program, result = run_source(
+        """
+a:      nop
+        jmp a
+        """,
+        max_cycles=200,
+    )
+    assert not result.halted
+    assert result.timed_out
+
+
+def test_cycle_counts_match_control_table():
+    source_and_first_bytes = [
+        ("nop\nhalt: jmp halt", 0xF0),
+        ("lda 0:0x80\nhalt: jmp halt", 0x00),
+        ("sta 0:0x80\nhalt: jmp halt", 0xA0),
+    ]
+    for source, first in source_and_first_bytes:
+        system, program, result = run_source(".org 0x10\n" + source)
+        jmp_cycles = expected_cycles(decode_raw(0x80))
+        expected = expected_cycles(decode_raw(first)) + jmp_cycles
+        assert result.cycles == expected, source
+
+
+def test_every_memory_access_is_addr_then_data_transaction():
+    system = CpuMemorySystem()
+    program = assemble(".org 0x10\nlda 0:0x80\nhalt: jmp halt")
+    system.load_image(program.image)
+    tracer = BusTracer([system.address_bus, system.data_bus])
+    system.run(entry=0x10)
+    addr = [t for t in tracer.transactions if t.bus == "addr"]
+    data = [t for t in tracer.transactions if t.bus == "data"]
+    # lda: fetch1, fetch2, operand = 3 accesses; jmp: fetch1, fetch2 = 2.
+    assert len(addr) == 5
+    assert len(data) == 5
+    for a, d in zip(addr, data):
+        assert d.cycle == a.cycle + 1
+
+
+def test_reset_restores_clean_state():
+    system, program, result = run_source("halt: jmp halt")
+    system.cpu.reset(0x123)
+    assert system.cpu.registers.pc == 0x123
+    assert not system.cpu.halted
+    assert system.cpu.instruction_count == 0

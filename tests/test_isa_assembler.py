@@ -1,0 +1,129 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import decode
+
+
+def test_basic_program_assembles():
+    program = assemble(
+        """
+        .org 0x100
+start:  lda data
+        sta result
+halt:   jmp halt
+data:   .byte 0x42
+result: .byte 0
+        """
+    )
+    assert program.entry == 0x100
+    assert program.symbols["start"] == 0x100
+    assert program.symbols["data"] == 0x106
+    # lda byte1 = opcode 000 | page(0x106) = 0x01, byte2 = 0x06
+    assert program.image[0x100] == 0x01
+    assert program.image[0x101] == 0x06
+
+
+def test_page_offset_operands():
+    program = assemble("lda 3:0x1f")
+    instruction = decode(program.image[0], program.image[1])
+    assert instruction.operand == 0x31F
+
+
+def test_indirect_syntax():
+    program = assemble("lda@ 2:0x10")
+    assert program.image[0] & 0x10  # indirect bit
+
+
+def test_byte_directive_multiple_values():
+    program = assemble(".byte 1, 2, 0xff")
+    assert [program.image[i] for i in range(3)] == [1, 2, 0xFF]
+
+
+def test_labels_resolve_forward_and_backward():
+    program = assemble(
+        """
+back:   nop
+        jmp fwd
+fwd:    jmp back
+        """
+    )
+    assert program.symbols["fwd"] == 0x003
+
+
+def test_branch_same_page_constraint():
+    with pytest.raises(AssemblyError):
+        assemble(
+            """
+        .org 0x0f0
+        bra_z target
+        .org 0x200
+target: nop
+        """
+        )
+
+
+def test_branch_same_page_accepted():
+    program = assemble(
+        """
+        .org 0x010
+loop:   bra_z loop
+        """
+    )
+    assert program.image[0x010] == 0b1110_0010
+    assert program.image[0x011] == 0x10
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a: nop\na: nop")
+
+
+def test_unknown_instruction_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate 1")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("jmp nowhere")
+
+
+def test_overlapping_emission_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(
+            """
+        .org 0
+        .byte 1
+        .org 0
+        .byte 2
+        """
+        )
+
+
+def test_overlapping_same_value_allowed():
+    program = assemble(
+        """
+        .org 0
+        .byte 7
+        .org 0
+        .byte 7
+        """
+    )
+    assert program.image[0] == 7
+
+
+def test_comments_and_blank_lines():
+    program = assemble("; just a comment\n\nnop ; trailing\n")
+    assert program.image[0] == 0xF0
+
+
+def test_implied_with_operand_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("nop 5")
+
+
+def test_org_out_of_range():
+    with pytest.raises(AssemblyError):
+        assemble(".org 0x1000")

@@ -1,0 +1,51 @@
+"""Unit tests for the disassembler."""
+
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble_image, disassemble_one, format_listing
+
+
+def test_roundtrip_listing():
+    program = assemble(
+        """
+        .org 0x20
+        cla
+        lda 1:0x10
+        sta 2:0x00
+halt:   jmp halt
+        """
+    )
+    lines = disassemble_image(program.image)
+    text = format_listing(lines)
+    assert "cla" in text
+    assert "lda 1:10" in text
+    assert "sta 2:00" in text
+    assert "jmp" in text
+
+
+def test_disassemble_one_hole():
+    instruction, length = disassemble_one({}, 0)
+    assert instruction is None
+    assert length == 1
+
+
+def test_disassemble_one_truncated_two_byte():
+    # First byte of an LDA with no second byte in the image.
+    instruction, length = disassemble_one({0: 0x00}, 0)
+    assert instruction is None
+    assert length == 1
+
+
+def test_undecodable_byte_listed_as_byte():
+    # 0xF5 is an undefined implied sub-opcode: strict decode fails.
+    lines = disassemble_image({0x10: 0xF5})
+    assert any(".byte" in line for line in lines)
+
+
+def test_limit_caps_output():
+    image = {i: 0xF0 for i in range(20)}  # 20 NOPs
+    lines = disassemble_image(image, limit=5)
+    assert len(lines) == 5
+
+
+def test_empty_image():
+    assert disassemble_image({}) == []

@@ -1,0 +1,121 @@
+"""Unit and property tests for instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    EncodingError,
+    Instruction,
+    decode,
+    encode,
+    first_byte,
+    instruction_length_from_first_byte,
+    make_address,
+    offset_of,
+    page_of,
+)
+from repro.isa.instructions import Format, Mnemonic, spec_for
+
+
+def test_address_helpers():
+    assert make_address(0xF, 0xEF) == 0xFEF
+    assert page_of(0xFEF) == 0xF
+    assert offset_of(0xFEF) == 0xEF
+
+
+def test_address_helpers_reject_out_of_range():
+    with pytest.raises(EncodingError):
+        make_address(16, 0)
+    with pytest.raises(EncodingError):
+        make_address(0, 256)
+
+
+def test_lda_encoding_matches_paper_layout():
+    # Fig. 4: byte 1 = opcode + page, byte 2 = offset.
+    byte1, byte2 = encode(Instruction(Mnemonic.LDA, operand=make_address(0xE, 0x00)))
+    assert byte1 == 0b000_0_1110
+    assert byte2 == 0x00
+
+
+def test_indirect_bit():
+    direct = encode(Instruction(Mnemonic.STA, operand=0x123))
+    indirect = encode(Instruction(Mnemonic.STA, indirect=True, operand=0x123))
+    assert indirect[0] == direct[0] | 0x10
+    assert indirect[1] == direct[1]
+
+
+def test_implied_encoding_single_byte():
+    (byte,) = encode(Instruction(Mnemonic.NOP))
+    assert byte == 0xF0
+    (byte,) = encode(Instruction(Mnemonic.CLA))
+    assert byte == 0xF1
+
+
+def test_branch_encoding():
+    byte1, byte2 = encode(Instruction(Mnemonic.BRA_Z, operand=0x42))
+    assert byte1 == 0b1110_0010
+    assert byte2 == 0x42
+
+
+def test_encode_rejects_bad_operands():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.NOP, operand=1))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.LDA))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.LDA, operand=0x1000))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.BRA_N, operand=0x100))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Mnemonic.JSR, indirect=True, operand=0))
+
+
+def test_decode_requires_second_byte_for_two_byte_forms():
+    with pytest.raises(EncodingError):
+        decode(0x00)  # LDA needs byte 2
+
+
+def test_first_byte_helper():
+    assert first_byte(Instruction(Mnemonic.LDA, operand=0x200)) == 0x02
+
+
+def test_length_from_first_byte():
+    assert instruction_length_from_first_byte(0xF0) == 1
+    assert instruction_length_from_first_byte(0x00) == 2
+    assert instruction_length_from_first_byte(0xE1) == 2
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(list(Mnemonic)))
+    indirect = False
+    spec = None
+    try:
+        spec = spec_for(mnemonic)
+    except KeyError:  # pragma: no cover - all base specs exist
+        pass
+    if spec.format is Format.MEMREF and mnemonic is not Mnemonic.JSR:
+        indirect = draw(st.booleans())
+    if spec.format is Format.IMPLIED:
+        operand = None
+    elif spec.format is Format.BRANCH:
+        operand = draw(st.integers(0, 255))
+    else:
+        operand = draw(st.integers(0, 0xFFF))
+    return Instruction(mnemonic, indirect=indirect, operand=operand)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(instruction):
+    encoded = encode(instruction)
+    decoded = decode(*encoded)
+    assert decoded == instruction
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_decode_never_returns_wrong_width(byte1, byte2):
+    try:
+        instruction = decode(byte1, byte2)
+    except EncodingError:
+        return
+    assert encode(instruction)[0] == byte1

@@ -1,0 +1,89 @@
+"""Unit tests for the instruction registry."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Format,
+    INSTRUCTION_SET,
+    Mnemonic,
+    instruction_count,
+    spec_for,
+)
+
+
+def test_instruction_count_matches_paper():
+    # "an 8-bit accumulator-based multi-cycle processor core with 23
+    # instructions"
+    assert instruction_count() == 23
+
+
+def test_unique_names():
+    names = [spec.name for spec in INSTRUCTION_SET]
+    assert len(names) == len(set(names))
+
+
+def test_memref_direct_and_indirect_variants():
+    for mnemonic in (
+        Mnemonic.LDA,
+        Mnemonic.AND,
+        Mnemonic.ADD,
+        Mnemonic.SUB,
+        Mnemonic.JMP,
+        Mnemonic.STA,
+    ):
+        direct = spec_for(mnemonic)
+        indirect = spec_for(mnemonic, indirect=True)
+        assert direct.format is Format.MEMREF
+        assert indirect.indirect
+        assert direct.length == 2
+        assert indirect.length == 2
+
+
+def test_jsr_has_no_indirect_variant():
+    assert spec_for(Mnemonic.JSR).format is Format.MEMREF
+    with pytest.raises(KeyError):
+        spec_for(Mnemonic.JSR, indirect=True)
+
+
+def test_implied_instructions_are_one_byte():
+    for mnemonic in (
+        Mnemonic.NOP,
+        Mnemonic.CLA,
+        Mnemonic.CMA,
+        Mnemonic.CMC,
+        Mnemonic.ASL,
+        Mnemonic.ASR,
+    ):
+        spec = spec_for(mnemonic)
+        assert spec.format is Format.IMPLIED
+        assert spec.length == 1
+
+
+def test_branches_are_two_bytes_and_set_nothing():
+    for mnemonic in (
+        Mnemonic.BRA_V,
+        Mnemonic.BRA_C,
+        Mnemonic.BRA_Z,
+        Mnemonic.BRA_N,
+    ):
+        spec = spec_for(mnemonic)
+        assert spec.format is Format.BRANCH
+        assert spec.length == 2
+        assert spec.sets_flags == ""
+
+
+def test_memory_behaviour_flags():
+    assert spec_for(Mnemonic.LDA).reads_memory
+    assert not spec_for(Mnemonic.LDA).writes_memory
+    assert spec_for(Mnemonic.STA).writes_memory
+    assert spec_for(Mnemonic.JSR).writes_memory
+    assert not spec_for(Mnemonic.JMP).reads_memory
+    # Indirect variants always read (pointer fetch).
+    assert spec_for(Mnemonic.STA, indirect=True).reads_memory
+
+
+def test_flag_annotations():
+    assert spec_for(Mnemonic.ADD).sets_flags == "VCZN"
+    assert spec_for(Mnemonic.AND).sets_flags == "ZN"
+    assert spec_for(Mnemonic.CMC).sets_flags == "C"
+    assert spec_for(Mnemonic.ASL).sets_flags == "VCZN"

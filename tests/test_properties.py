@@ -1,0 +1,121 @@
+"""Property-based tests on cross-cutting system invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.image import ConflictError, MemoryImage
+from repro.core.maf import FaultType, MAFault, ma_vector_pair
+from repro.soc.bus import Bus, BusDirection, TransactionKind
+from repro.xtalk.calibration import calibrate
+from repro.xtalk.capacitance import extract_capacitance
+from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.geometry import BusGeometry
+from repro.xtalk.params import ElectricalParams
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(st.integers(0, 0xFFF), min_size=1, max_size=20),
+)
+def test_bus_settles_to_last_driven_word(values):
+    bus = Bus("addr", 12)
+    bus.install_corruption_hook(lambda p, n, d: (n + 1) & 0xFFF)
+    for cycle, value in enumerate(values):
+        bus.transfer(value, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, cycle)
+        assert bus.value == value  # corruption never changes settled state
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 255), st.integers(0, 255)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_image_placement_is_idempotent_and_conflict_safe(ops):
+    image = MemoryImage(256)
+    reference = {}
+    for address, value in ops:
+        try:
+            image.place(address, value, "t")
+            reference.setdefault(address, value)
+            assert reference[address] == value
+        except ConflictError:
+            assert address in reference and reference[address] != value
+    assert image.as_dict() == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    victim=st.integers(0, 11),
+    fault_type=st.sampled_from(list(FaultType)),
+    factor=st.floats(1.5, 4.0),
+)
+def test_ma_test_of_victim_detects_victim_defect(victim, fault_type, factor):
+    """Sufficiency half of the MAF theorem, across all four fault types:
+    a defect concentrated on a victim whose net coupling crosses Cth is
+    caught by at least one of that victim's MA tests."""
+    caps = extract_capacitance(BusGeometry.edge_relaxed(12))
+    params = ElectricalParams()
+    calibration = calibrate(caps, params)
+    n = caps.wire_count
+    factors = [[1.0] * n for _ in range(n)]
+    for j, _ in caps.neighbours(victim):
+        factors[victim][j] = factors[j][victim] = factor
+    perturbed = caps.perturbed(factors)
+    if perturbed.net_coupling(victim) <= calibration.cth:
+        # The victim itself stayed within budget (its neighbour may have
+        # crossed Cth — that neighbour's own MA tests cover that case).
+        return
+    model = CrosstalkErrorModel(perturbed, params, calibration)
+    detected = False
+    for ft in FaultType:
+        pair = ma_vector_pair(MAFault(victim=victim, fault_type=ft, width=n))
+        if model.would_corrupt(pair.v1, pair.v2, BusDirection.CPU_TO_MEM):
+            detected = True
+    assert detected
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_necessity_nominal_patterns_weaker_than_ma(data):
+    """Any non-MA aggressor subset stresses the victim no harder than the
+    MA pattern: if the MA pattern passes, every weaker pattern passes."""
+    caps = extract_capacitance(BusGeometry.edge_relaxed(8))
+    params = ElectricalParams()
+    calibration = calibrate(caps, params)
+    n = caps.wire_count
+    victim = data.draw(st.integers(0, n - 1))
+    factor = data.draw(st.floats(0.5, 2.0))
+    factors = [[factor] * n for _ in range(n)]
+    perturbed = caps.perturbed(factors)
+    model = CrosstalkErrorModel(perturbed, params, calibration)
+    ones = (1 << n) - 1
+    bit = 1 << victim
+    ma_fails = model.would_corrupt(ones & ~bit, bit, BusDirection.CPU_TO_MEM)
+    if ma_fails:
+        return
+    # Draw a weaker pattern: only a subset of aggressors opposes.
+    subset = data.draw(st.integers(0, ones & ~bit)) & ~bit
+    v1 = subset  # opposing aggressors start high
+    v2 = bit  # victim rises, subset falls, the rest stays 0
+    received = model.corrupt(v1, v2, BusDirection.CPU_TO_MEM)
+    assert received & bit == bit  # victim arrives on time
+
+
+@settings(max_examples=40)
+@given(
+    v1=st.integers(0, 255),
+    v2=st.integers(0, 255),
+    seed_factor=st.floats(1.0, 3.0),
+)
+def test_corruption_is_deterministic(v1, v2, seed_factor):
+    caps = extract_capacitance(BusGeometry.uniform(8))
+    params = ElectricalParams()
+    calibration = calibrate(caps, params)
+    n = caps.wire_count
+    factors = [[seed_factor] * n for _ in range(n)]
+    model = CrosstalkErrorModel(caps.perturbed(factors), params, calibration)
+    first = model.corrupt(v1, v2, BusDirection.MEM_TO_CPU)
+    second = model.corrupt(v1, v2, BusDirection.MEM_TO_CPU)
+    assert first == second

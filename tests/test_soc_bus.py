@@ -1,0 +1,87 @@
+"""Unit tests for the tri-state bus model."""
+
+import pytest
+
+from repro.soc.bus import Bus, BusDirection, BusTransaction, TransactionKind
+
+
+def make_bus(width=8):
+    return Bus("data", width)
+
+
+def test_initial_value_and_width_checks():
+    bus = Bus("addr", 12, initial=0xABC)
+    assert bus.value == 0xABC
+    with pytest.raises(ValueError):
+        Bus("x", 0)
+    with pytest.raises(ValueError):
+        Bus("x", 4, initial=16)
+
+
+def test_hold_last_value_semantics():
+    bus = make_bus()
+    bus.transfer(0x55, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, 1)
+    assert bus.value == 0x55
+    # The next transfer's transition starts from the held word.
+    seen = []
+    bus.install_corruption_hook(lambda prev, new, d: seen.append((prev, new)) or new)
+    bus.transfer(0xAA, BusDirection.MEM_TO_CPU, TransactionKind.FETCH, 2)
+    assert seen == [(0x55, 0xAA)]
+
+
+def test_corruption_hook_changes_received_not_settled():
+    bus = make_bus()
+    bus.install_corruption_hook(lambda prev, new, d: new ^ 0x01)
+    received = bus.transfer(0x10, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, 1)
+    assert received == 0x11
+    # Glitches/delays are transient: the line settles to the driven word.
+    assert bus.value == 0x10
+
+
+def test_observers_see_transactions():
+    bus = make_bus()
+    log = []
+    bus.add_observer(log.append)
+    bus.transfer(0x01, BusDirection.CPU_TO_MEM, TransactionKind.OPERAND_WRITE, 7)
+    assert len(log) == 1
+    transaction = log[0]
+    assert isinstance(transaction, BusTransaction)
+    assert transaction.cycle == 7
+    assert transaction.kind is TransactionKind.OPERAND_WRITE
+    assert not transaction.corrupted
+
+
+def test_corrupted_flag():
+    bus = make_bus()
+    bus.install_corruption_hook(lambda prev, new, d: new | 0x80)
+    log = []
+    bus.add_observer(log.append)
+    bus.transfer(0x01, BusDirection.MEM_TO_CPU, TransactionKind.FETCH, 1)
+    assert log[0].corrupted
+    bus.transfer(0x81, BusDirection.MEM_TO_CPU, TransactionKind.FETCH, 2)
+    assert not log[1].corrupted
+
+
+def test_transfer_rejects_oversized_value():
+    bus = make_bus()
+    with pytest.raises(ValueError):
+        bus.transfer(0x100, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, 1)
+
+
+def test_reset_keeps_hook_and_observers():
+    bus = make_bus()
+    log = []
+    bus.add_observer(log.append)
+    bus.install_corruption_hook(lambda p, n, d: n)
+    bus.transfer(0x33, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, 1)
+    bus.reset()
+    assert bus.value == 0
+    bus.transfer(0x44, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, 2)
+    assert len(log) == 2
+
+
+def test_hook_result_masked_to_width():
+    bus = Bus("addr", 4)
+    bus.install_corruption_hook(lambda p, n, d: 0x1FF)
+    received = bus.transfer(0x5, BusDirection.CPU_TO_MEM, TransactionKind.FETCH, 1)
+    assert received == 0xF

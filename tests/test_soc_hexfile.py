@@ -1,0 +1,65 @@
+"""Tests for Intel HEX image interchange."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.soc.hexfile import HexFormatError, dump_image, load_image
+
+
+def test_known_record():
+    text = dump_image({0x10: 0x00, 0x11: 0x80})
+    first = text.splitlines()[0]
+    assert first == ":0200100000806E"
+    assert text.splitlines()[-1] == ":00000001FF"
+
+
+def test_roundtrip_sparse_image():
+    image = {0: 1, 1: 2, 0x7FF: 0xAB, 0xFFF: 0xCD}
+    assert load_image(dump_image(image)) == image
+
+
+def test_program_roundtrip(address_program):
+    text = dump_image(address_program.image)
+    assert load_image(text) == address_program.image
+
+
+def test_record_size_packing():
+    image = {i: i & 0xFF for i in range(40)}
+    text = dump_image(image, record_size=16)
+    data_lines = [l for l in text.splitlines() if not l.endswith("01FF")]
+    assert len(data_lines) == 3  # 16 + 16 + 8
+
+
+def test_bad_inputs():
+    with pytest.raises(HexFormatError):
+        load_image("0200100000806E")  # missing colon
+    with pytest.raises(HexFormatError):
+        load_image(":0200100000806F\n:00000001FF")  # bad checksum
+    with pytest.raises(HexFormatError):
+        load_image(":020010000080\n:00000001FF")  # truncated
+    with pytest.raises(HexFormatError):
+        load_image(":0200100000806E")  # no EOF
+    with pytest.raises(HexFormatError):
+        load_image(":00000001FF\n:0200100000806E")  # data after EOF
+    with pytest.raises(HexFormatError):
+        load_image(":00000005FB\n:00000001FF")  # unsupported type
+    with pytest.raises(ValueError):
+        dump_image({0: 1}, record_size=0)
+
+
+def test_loadable_by_memory(address_program):
+    from repro.soc.memory import Memory
+
+    memory = Memory()
+    memory.load_image(load_image(dump_image(address_program.image)))
+    for address, byte in address_program.image.items():
+        assert memory.read(address) == byte
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 0xFFF), st.integers(0, 255), max_size=60
+    )
+)
+def test_roundtrip_property(image):
+    assert load_image(dump_image(image)) == image

@@ -1,0 +1,65 @@
+"""Unit tests for memory-mapped cores and system routing."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.soc.mmio import MMIORegion, RegisterCore, RomCore
+from repro.soc.system import CpuMemorySystem
+
+
+def test_register_core_read_write():
+    core = RegisterCore(4)
+    core.write(2, 0x7E)
+    assert core.read(2) == 0x7E
+    assert core.write_count == 1 and core.read_count == 1
+    with pytest.raises(IndexError):
+        core.read(4)
+
+
+def test_register_core_load_resets_counters():
+    core = RegisterCore(4)
+    core.load([1, 2, 3])
+    assert core.read_count == 0 and core.write_count == 0
+    assert core.snapshot()[:3] == bytes([1, 2, 3])
+
+
+def test_rom_core_ignores_writes():
+    rom = RomCore([9, 8, 7])
+    rom.write(1, 0xFF)
+    assert rom.read(1) == 8
+    assert rom.ignored_writes == {1: 0xFF}
+
+
+def test_mmio_region_contains():
+    region = MMIORegion(base=0xF00, size=16, core=RegisterCore(16))
+    assert region.contains(0xF00)
+    assert region.contains(0xF0F)
+    assert not region.contains(0xF10)
+    assert not region.contains(0xEFF)
+
+
+def test_cpu_reaches_mmio_core_via_memory_mapped_io():
+    # The paper's Fig. 2 scenario: the CPU exchanges data with a
+    # non-memory core over the same buses, addressed like memory.
+    core = RegisterCore(16)
+    core.load([0x5C])
+    system = CpuMemorySystem(
+        mmio_regions=[MMIORegion(base=0xF00, size=16, core=core, name="periph")]
+    )
+    program = assemble(
+        """
+        .org 0x10
+        lda 0xF:0x00      ; read peripheral register 0
+        sta out
+        lda val
+        sta 0xF:0x01      ; write peripheral register 1
+halt:   jmp halt
+val:    .byte 0x99
+out:    .byte 0
+        """
+    )
+    system.load_image(program.image)
+    result = system.run(entry=0x10)
+    assert result.halted
+    assert system.memory.read(program.symbols["out"]) == 0x5C
+    assert core.read(1) == 0x99

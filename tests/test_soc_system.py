@@ -1,0 +1,102 @@
+"""System-level tests: bus wiring, corrupted-address routing, run control."""
+
+from repro.isa.assembler import assemble
+from repro.soc.bus import BusDirection
+from repro.soc.system import CpuMemorySystem
+from repro.soc.tracer import BusTracer
+
+
+def test_corrupted_address_routes_read_to_wrong_cell():
+    # Force bit 0 of every address-bus word high: the paper's Fig. 3
+    # scenario (the CPU receives data from a wrong address).
+    system = CpuMemorySystem()
+    program = assemble(
+        """
+        .org 0x10
+        lda 0:0x80
+        sta 0:0x91
+halt:   jmp halt
+        .org 0x80
+        .byte 0x01
+        .org 0x81
+        .byte 0x02
+        """
+    )
+    system.load_image(program.image)
+
+    def redirect_80_to_81(prev, new, direction):
+        return 0x081 if new == 0x080 else new
+
+    system.address_bus.install_corruption_hook(redirect_80_to_81)
+    system.run(entry=0x10)
+    # The operand read of 0x080 arrives at memory as 0x081 -> loads 0x02.
+    assert system.memory.read(0x091) == 0x02
+
+
+def test_corrupted_write_data():
+    system = CpuMemorySystem()
+    program = assemble(
+        """
+        .org 0x10
+        lda val
+        sta out
+halt:   jmp halt
+val:    .byte 0x0F
+out:    .byte 0
+        """
+    )
+    system.load_image(program.image)
+
+    def corrupt_cpu_writes(prev, new, direction):
+        if direction is BusDirection.CPU_TO_MEM:
+            return new ^ 0x80
+        return new
+
+    system.data_bus.install_corruption_hook(corrupt_cpu_writes)
+    system.run(entry=0x10)
+    assert system.memory.read(program.symbols["out"]) == 0x8F
+
+
+def test_run_resets_buses_and_clock():
+    system = CpuMemorySystem()
+    program = assemble("halt: jmp halt")
+    system.load_image(program.image)
+    first = system.run(entry=0)
+    second = system.run(entry=0)
+    assert first.cycles == second.cycles
+
+
+def test_resume_continues_without_reset():
+    system = CpuMemorySystem()
+    program = assemble(".org 0x10\nnop\nnop\nhalt: jmp halt")
+    system.load_image(program.image)
+    system.reset(0x10)
+    for _ in range(4):  # one NOP
+        system.step()
+    result = system.resume()
+    assert result.halted
+    assert result.instructions == 3
+
+
+def test_transaction_kinds_recorded():
+    system = CpuMemorySystem()
+    program = assemble(
+        """
+        .org 0x10
+        lda@ ptr
+        sta out
+halt:   jmp halt
+        .org 0x40
+ptr:    .byte 0x80
+        .org 0x90
+out:    .byte 0
+        """
+    )
+    system.load_image(program.image)
+    tracer = BusTracer([system.address_bus])
+    system.run(entry=0x10)
+    kinds = [t.kind.value for t in tracer.transactions]
+    assert "pointer_read" in kinds
+    assert "operand_read" in kinds
+    assert "operand_write" in kinds
+    assert kinds.count("fetch") >= 4

@@ -1,0 +1,73 @@
+"""Unit tests for tracing and timing-diagram rendering."""
+
+from repro.isa.assembler import assemble
+from repro.soc.bus import TransactionKind
+from repro.soc.system import CpuMemorySystem
+from repro.soc.tracer import BusTracer, render_timing_diagram
+
+
+def traced_run(source, entry=0x10):
+    system = CpuMemorySystem()
+    program = assemble(source)
+    system.load_image(program.image)
+    tracer = BusTracer([system.address_bus, system.data_bus])
+    system.run(entry=entry)
+    return system, tracer
+
+
+def test_transitions_on_capture_vector_pairs():
+    system, tracer = traced_run(
+        """
+        .org 0x10
+        lda 0:0x80
+halt:   jmp halt
+        """
+    )
+    transitions = tracer.transitions_on("addr")
+    # Fig. 5 sequence: Ai, Ai+1, Ax, then the jmp fetches.
+    assert (0x10, 0x11) in transitions
+    assert (0x11, 0x80) in transitions
+
+
+def test_filters():
+    system, tracer = traced_run(
+        """
+        .org 0x10
+        lda 0:0x80
+        sta 0:0x81
+halt:   jmp halt
+        """
+    )
+    assert tracer.of_kind(TransactionKind.OPERAND_WRITE)
+    assert tracer.on_bus("data")
+    assert tracer.corrupted() == []
+    tracer.clear()
+    assert tracer.transactions == []
+
+
+def test_timing_diagram_renders():
+    system, tracer = traced_run(
+        """
+        .org 0x10
+        lda 0:0x80
+halt:   jmp halt
+        """
+    )
+    text = render_timing_diagram(tracer.transactions[:8])
+    assert "addr" in text and "data" in text
+    assert "cycle" in text
+
+
+def test_timing_diagram_empty():
+    assert "no bus activity" in render_timing_diagram([])
+
+
+def test_timing_diagram_marks_corruption():
+    system = CpuMemorySystem()
+    program = assemble(".org 0x10\nlda 0:0x80\nhalt: jmp halt")
+    system.load_image(program.image)
+    system.data_bus.install_corruption_hook(lambda p, n, d: n ^ 0x01)
+    tracer = BusTracer([system.data_bus])
+    system.run(entry=0x10, max_cycles=100)
+    text = render_timing_diagram(tracer.transactions[:4])
+    assert "*" in text

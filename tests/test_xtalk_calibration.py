@@ -1,0 +1,102 @@
+"""Unit and property tests for the calibration invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.bus import BusDirection
+from repro.xtalk.calibration import calibrate
+from repro.xtalk.capacitance import extract_capacitance
+from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.geometry import BusGeometry
+from repro.xtalk.params import ElectricalParams
+
+
+@pytest.fixture
+def setup():
+    caps = extract_capacitance(BusGeometry.edge_relaxed(8))
+    params = ElectricalParams()
+    return caps, params, calibrate(caps, params)
+
+
+def test_cth_above_all_nominal_nets(setup):
+    caps, params, calibration = setup
+    assert all(net < calibration.cth for net in caps.net_couplings())
+
+
+def test_nominal_bus_passes_every_ma_pattern(setup):
+    caps, params, calibration = setup
+    model = CrosstalkErrorModel(caps, params, calibration)
+    width = caps.wire_count
+    ones = (1 << width) - 1
+    for victim in range(width):
+        bit = 1 << victim
+        for v1, v2 in [
+            (0, ones & ~bit),
+            (ones, bit),
+            (ones & ~bit, bit),
+            (bit, ones & ~bit),
+        ]:
+            for direction in BusDirection:
+                assert not model.would_corrupt(v1, v2, direction)
+
+
+def test_safety_factor_must_exceed_one():
+    caps = extract_capacitance(BusGeometry.uniform(4))
+    with pytest.raises(ValueError):
+        calibrate(caps, ElectricalParams(), safety_factor=1.0)
+
+
+def test_nonuniform_ground_rejected():
+    caps = extract_capacitance(BusGeometry.uniform(4))
+    lopsided = type(caps)(
+        coupling=caps.coupling, ground=(80.0, 80.0, 80.0, 81.0)
+    )
+    with pytest.raises(ValueError):
+        calibrate(lopsided, ElectricalParams())
+
+
+def test_defective_wires_criterion(setup):
+    caps, params, calibration = setup
+    assert calibration.defective_wires(caps) == ()
+    n = caps.wire_count
+    factors = [[1.0] * n for _ in range(n)]
+    factors[3][4] = factors[4][3] = 3.0
+    bumped = caps.perturbed(factors)
+    assert calibration.is_defective(bumped)
+    defective = calibration.defective_wires(bumped)
+    assert 3 in defective or 4 in defective
+
+
+@settings(max_examples=40)
+@given(
+    victim=st.integers(0, 7),
+    factor=st.floats(0.1, 6.0),
+)
+def test_ma_test_fails_iff_net_coupling_exceeds_cth(victim, factor):
+    """The in-model ICCAD'99 theorem: under consistent calibration, the MA
+    pattern for a wire produces an error exactly when that wire's net
+    coupling exceeds Cth."""
+    caps = extract_capacitance(BusGeometry.edge_relaxed(8))
+    params = ElectricalParams()
+    calibration = calibrate(caps, params)
+    n = caps.wire_count
+    factors = [[1.0] * n for _ in range(n)]
+    for j, _ in caps.neighbours(victim):
+        factors[victim][j] = factors[j][victim] = factor
+    perturbed = caps.perturbed(factors)
+    model = CrosstalkErrorModel(perturbed, params, calibration)
+    exceeds = perturbed.net_coupling(victim) > calibration.cth
+
+    ones = (1 << n) - 1
+    bit = 1 << victim
+    direction = BusDirection.CPU_TO_MEM
+    # Rising-delay MA pattern.
+    delay_fails = (
+        model.corrupt(ones & ~bit, bit, direction) & bit
+    ) != bit
+    # Positive-glitch MA pattern.
+    glitch_fails = (
+        model.corrupt(0, ones & ~bit, direction) & bit
+    ) != 0
+    assert delay_fails == exceeds
+    assert glitch_fails == exceeds

@@ -1,0 +1,130 @@
+"""Unit and property tests for the high-level crosstalk error model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.bus import BusDirection
+from repro.xtalk.calibration import calibrate
+from repro.xtalk.capacitance import extract_capacitance
+from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.geometry import BusGeometry
+from repro.xtalk.params import ElectricalParams
+
+WIDTH = 8
+ONES = (1 << WIDTH) - 1
+
+
+@pytest.fixture(scope="module")
+def nominal():
+    caps = extract_capacitance(BusGeometry.edge_relaxed(WIDTH))
+    params = ElectricalParams()
+    return caps, params, calibrate(caps, params)
+
+
+def defective_on(nominal, victim, factor=2.0):
+    caps, params, calibration = nominal
+    n = caps.wire_count
+    factors = [[1.0] * n for _ in range(n)]
+    for j, _ in caps.neighbours(victim):
+        factors[victim][j] = factors[j][victim] = factor
+    return CrosstalkErrorModel(caps.perturbed(factors), params, calibration)
+
+
+def test_no_transition_no_error(nominal):
+    model = CrosstalkErrorModel(nominal[0], nominal[1], nominal[2])
+    assert model.corrupt(0x55, 0x55, BusDirection.CPU_TO_MEM) == 0x55
+
+
+def test_positive_glitch_flips_stable_zero(nominal):
+    victim = 4
+    model = defective_on(nominal, victim)
+    received = model.corrupt(0, ONES & ~(1 << victim), BusDirection.CPU_TO_MEM)
+    assert received & (1 << victim)
+
+
+def test_negative_glitch_flips_stable_one(nominal):
+    victim = 4
+    model = defective_on(nominal, victim)
+    received = model.corrupt(ONES, 1 << victim, BusDirection.CPU_TO_MEM)
+    assert not received & (1 << victim)
+
+
+def test_rising_delay_holds_old_zero(nominal):
+    victim = 4
+    model = defective_on(nominal, victim)
+    received = model.corrupt(ONES & ~(1 << victim), 1 << victim,
+                             BusDirection.CPU_TO_MEM)
+    assert not received & (1 << victim)
+
+
+def test_falling_delay_holds_old_one(nominal):
+    victim = 4
+    model = defective_on(nominal, victim)
+    received = model.corrupt(1 << victim, ONES & ~(1 << victim),
+                             BusDirection.CPU_TO_MEM)
+    assert received & (1 << victim)
+
+
+def test_glitch_wrong_polarity_is_harmless(nominal):
+    victim = 4
+    model = defective_on(nominal, victim)
+    # Aggressors rise around a stable-1 victim: upward glitch on a high
+    # wire cannot flip it.
+    received = model.corrupt(1 << victim, ONES, BusDirection.CPU_TO_MEM)
+    assert received & (1 << victim)
+
+
+def test_explain_names_the_effect(nominal):
+    victim = 4
+    model = defective_on(nominal, victim)
+    errors = model.explain(0, ONES & ~(1 << victim), BusDirection.CPU_TO_MEM)
+    assert any(
+        e.wire == victim and e.effect == "positive_glitch" for e in errors
+    )
+    errors = model.explain(
+        ONES & ~(1 << victim), 1 << victim, BusDirection.CPU_TO_MEM
+    )
+    assert any(e.wire == victim and e.effect == "delay" for e in errors)
+    assert model.explain(0x12, 0x12, BusDirection.CPU_TO_MEM) == []
+
+
+def test_explain_agrees_with_corrupt(nominal):
+    victim = 3
+    model = defective_on(nominal, victim)
+    for v1, v2 in [(0, ONES & ~(1 << victim)), (0x12, 0x34), (ONES, 0)]:
+        corrupted = model.corrupt(v1, v2, BusDirection.MEM_TO_CPU) != v2
+        explained = bool(model.explain(v1, v2, BusDirection.MEM_TO_CPU))
+        assert corrupted == explained
+
+
+@settings(max_examples=60)
+@given(v1=st.integers(0, ONES), v2=st.integers(0, ONES))
+def test_corruption_only_touches_plausible_wires(v1, v2):
+    caps = extract_capacitance(BusGeometry.edge_relaxed(WIDTH))
+    params = ElectricalParams()
+    calibration = calibrate(caps, params)
+    n = caps.wire_count
+    factors = [[2.5] * n for _ in range(n)]
+    model = CrosstalkErrorModel(caps.perturbed(factors), params, calibration)
+    received = model.corrupt(v1, v2, BusDirection.CPU_TO_MEM)
+    changed = received ^ v2
+    for wire in range(WIDTH):
+        bit = 1 << wire
+        if not changed & bit:
+            continue
+        if (v1 ^ v2) & bit:
+            # Delayed wire reverts to its old value.
+            assert received & bit == v1 & bit
+        else:
+            # Glitched wire flips away from its stable value; a stable-0
+            # wire can only flip up, a stable-1 wire only down.
+            assert received & bit != v2 & bit
+
+
+@settings(max_examples=60)
+@given(v1=st.integers(0, ONES), v2=st.integers(0, ONES))
+def test_nominal_bus_never_corrupts_anything(nominal, v1, v2):
+    caps, params, calibration = nominal
+    model = CrosstalkErrorModel(caps, params, calibration)
+    for direction in BusDirection:
+        assert model.corrupt(v1, v2, direction) == v2

@@ -1,0 +1,43 @@
+"""Unit tests for bus geometry."""
+
+import pytest
+
+from repro.xtalk.geometry import BusGeometry
+
+
+def test_uniform_spacing():
+    geometry = BusGeometry.uniform(8, spacing_um=0.4)
+    assert len(geometry.spacings_um) == 7
+    assert set(geometry.spacings_um) == {0.4}
+
+
+def test_edge_relaxed_profile():
+    geometry = BusGeometry.edge_relaxed(12, spacing_um=0.5)
+    gaps = geometry.spacings_um
+    assert gaps[0] == gaps[-1] == 1.5  # 3x
+    assert gaps[1] == gaps[-2] == 1.0  # 2x
+    assert set(gaps[2:-2]) == {0.5}
+
+
+def test_edge_relaxed_symmetry():
+    gaps = BusGeometry.edge_relaxed(9).spacings_um
+    assert gaps == tuple(reversed(gaps))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BusGeometry(wire_count=1, spacings_um=())
+    with pytest.raises(ValueError):
+        BusGeometry(wire_count=3, spacings_um=(1.0,))
+    with pytest.raises(ValueError):
+        BusGeometry(wire_count=3, spacings_um=(1.0, -1.0))
+    with pytest.raises(ValueError):
+        BusGeometry(wire_count=3, length_um=0, spacings_um=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        BusGeometry.edge_relaxed(8, edge_factors=(0.0,))
+
+
+def test_edge_factors_on_tiny_bus():
+    # Factors deeper than the gap count must not blow up.
+    geometry = BusGeometry.edge_relaxed(3, edge_factors=(3.0, 2.0))
+    assert len(geometry.spacings_um) == 2

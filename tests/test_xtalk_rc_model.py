@@ -1,0 +1,109 @@
+"""Unit tests for the lumped RC estimators."""
+
+import pytest
+
+from repro.soc.bus import BusDirection
+from repro.xtalk.capacitance import extract_capacitance
+from repro.xtalk.geometry import BusGeometry
+from repro.xtalk.params import ElectricalParams
+from repro.xtalk.rc_model import (
+    TransitionKindBits,
+    classify_transition,
+    glitch_voltage,
+    miller_factor,
+    transition_delay,
+    worst_case_delay,
+    worst_case_glitch,
+)
+
+
+@pytest.fixture
+def caps():
+    return extract_capacitance(BusGeometry.uniform(4))
+
+
+@pytest.fixture
+def params():
+    return ElectricalParams()
+
+
+def test_classify_transition():
+    kinds = classify_transition(0b0101, 0b0011, 4)
+    assert kinds[0] is TransitionKindBits.STABLE1
+    assert kinds[1] is TransitionKindBits.RISING
+    assert kinds[2] is TransitionKindBits.FALLING
+    assert kinds[3] is TransitionKindBits.STABLE0
+
+
+def test_miller_factors():
+    rising = TransitionKindBits.RISING
+    falling = TransitionKindBits.FALLING
+    stable = TransitionKindBits.STABLE0
+    assert miller_factor(rising, rising) == 0.0
+    assert miller_factor(rising, falling) == 2.0
+    assert miller_factor(rising, stable) == 1.0
+
+
+def test_glitch_sign_and_magnitude(caps, params):
+    # Victim 1 stable 0, both neighbours rising -> positive glitch.
+    kinds = classify_transition(0b0000, 0b1101, 4)
+    voltage = glitch_voltage(caps, params, 1, kinds)
+    assert voltage > 0
+    # Same but falling aggressors -> negative glitch of equal magnitude.
+    kinds_down = classify_transition(0b1111, 0b0010, 4)
+    assert glitch_voltage(caps, params, 1, kinds_down) == pytest.approx(-voltage)
+
+
+def test_glitch_zero_for_switching_victim(caps, params):
+    kinds = classify_transition(0b0000, 0b1111, 4)
+    assert glitch_voltage(caps, params, 1, kinds) == 0.0
+
+
+def test_opposing_aggressors_cancel(caps, params):
+    # One neighbour rising, the other falling: the injections cancel on a
+    # uniform bus.
+    kinds = classify_transition(0b0100, 0b0001, 4)
+    assert glitch_voltage(caps, params, 1, kinds) == pytest.approx(0.0)
+
+
+def test_delay_orders(caps, params):
+    direction = BusDirection.CPU_TO_MEM
+    # Victim 1 rising; cases: aggressors same / quiet / opposite.
+    same = classify_transition(0b0000, 0b1111, 4)
+    quiet = classify_transition(0b0000, 0b0010, 4)
+    opposite = classify_transition(0b1101, 0b0010, 4)
+    d_same = transition_delay(caps, params, 1, same, direction)
+    d_quiet = transition_delay(caps, params, 1, quiet, direction)
+    d_opposite = transition_delay(caps, params, 1, opposite, direction)
+    assert d_same < d_quiet < d_opposite
+
+
+def test_delay_zero_for_stable_wire(caps, params):
+    kinds = classify_transition(0b0000, 0b1101, 4)
+    assert transition_delay(caps, params, 1, kinds, BusDirection.CPU_TO_MEM) == 0.0
+
+
+def test_worst_cases_match_ma_patterns(caps, params):
+    direction = BusDirection.CPU_TO_MEM
+    width = caps.wire_count
+    ones = (1 << width) - 1
+    for victim in range(width):
+        bit = 1 << victim
+        # MA delay pattern: victim rises, every aggressor falls.
+        kinds = classify_transition(ones & ~bit, bit, width)
+        assert transition_delay(
+            caps, params, victim, kinds, direction
+        ) == pytest.approx(worst_case_delay(caps, params, victim, direction))
+        # MA glitch pattern: victim quiet at 0, all aggressors rise.
+        kinds = classify_transition(0, ones & ~bit, width)
+        assert glitch_voltage(caps, params, victim, kinds) == pytest.approx(
+            worst_case_glitch(caps, params, victim)
+        )
+
+
+def test_direction_changes_delay():
+    params = ElectricalParams(r_driver_cpu=500.0, r_driver_mem=2000.0)
+    caps = extract_capacitance(BusGeometry.uniform(4))
+    slow = worst_case_delay(caps, params, 1, BusDirection.MEM_TO_CPU)
+    fast = worst_case_delay(caps, params, 1, BusDirection.CPU_TO_MEM)
+    assert slow == pytest.approx(4.0 * fast)
