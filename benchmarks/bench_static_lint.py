@@ -1,0 +1,61 @@
+"""S1 — static lint versus dynamic validation of the combined program.
+
+The static analyzer answers the validator's question (does every applied
+MA test hit its bus transition?) without simulating a cycle.  This
+benchmark times both on the same program and records that they reach
+identical conclusions — the cross-check that keeps the two models honest.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.analysis.records import ExperimentRecord, format_records
+from repro.core.validate import validate_applied_tests
+from repro.static import analyze_program, crosscheck
+
+
+def test_s1_static_lint(benchmark, builder):
+    program = builder.build()
+    report = benchmark.pedantic(
+        lambda: analyze_program(program), rounds=5, iterations=1
+    )
+
+    started = time.perf_counter()
+    dynamic = validate_applied_tests(program)
+    dynamic_seconds = time.perf_counter() - started
+    result = crosscheck(program, report.run)
+
+    records = [
+        ExperimentRecord(
+            "S1",
+            "applied tests confirmed (static vs dynamic)",
+            f"{len(dynamic.confirmed)}/{len(program.applied)}",
+            f"{len(report.coverage.confirmed)}/{len(program.applied)}",
+        ),
+        ExperimentRecord(
+            "S1",
+            "static/dynamic cross-check",
+            "agree",
+            "agree" if result.agreed else "DISAGREE",
+        ),
+        ExperimentRecord(
+            "S1",
+            "error-level findings on the seed program",
+            "0",
+            str(len(report.lint.errors)),
+        ),
+        ExperimentRecord(
+            "S1",
+            "dynamic validation wall time",
+            "n/a",
+            f"{dynamic_seconds * 1e3:.1f} ms",
+            "static lint time is the benchmark statistic",
+        ),
+    ]
+    emit("S1 — static lint vs dynamic validation", format_records(records))
+    emit("S1 — findings", report.lint.render())
+
+    assert result.agreed
+    assert report.lint.errors == []
+    assert report.run.exact and report.run.all_paths_halt

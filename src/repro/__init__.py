@@ -41,6 +41,12 @@ from repro.core import (
     ma_vector_pair,
 )
 from repro.soc import BusDirection, CpuMemorySystem
+from repro.static import (
+    LintReport,
+    StaticAnalysisReport,
+    analyze_program,
+    crosscheck,
+)
 from repro.xtalk import (
     BusGeometry,
     Calibration,
@@ -122,14 +128,18 @@ __all__ = [
     "DefectSimulator",
     "ElectricalParams",
     "FaultType",
+    "LintReport",
     "MAFault",
     "SelfTestProgram",
     "SelfTestProgramBuilder",
     "SkippedTest",
+    "StaticAnalysisReport",
     "VectorPair",
     "address_bus_line_coverage",
+    "analyze_program",
     "build_sessions",
     "calibrate",
+    "crosscheck",
     "default_address_bus_setup",
     "default_bus_setup",
     "default_data_bus_setup",

@@ -9,8 +9,14 @@ def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
     title: str = "",
+    align: str = "",
 ) -> str:
-    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    ``align`` gives one character per column — ``"l"`` (default) or
+    ``"r"`` — so numeric columns can be right-aligned; a short string
+    leaves the remaining columns left-aligned.
+    """
     materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
     widths = [len(header) for header in headers]
     for row in materialized:
@@ -18,16 +24,21 @@ def format_table(
             raise ValueError("row length does not match headers")
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
+    if any(spec not in "lr" for spec in align):
+        raise ValueError(f"bad align spec: {align!r}")
+
+    def _pad(cell: str, index: int) -> str:
+        if index < len(align) and align[index] == "r":
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(
-        header.ljust(widths[index]) for index, header in enumerate(headers)
+    lines.append(
+        "  ".join(_pad(header, index) for index, header in enumerate(headers))
     )
-    lines.append(header_line)
     lines.append("  ".join("-" * width for width in widths))
     for row in materialized:
-        lines.append(
-            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
-        )
+        lines.append("  ".join(_pad(cell, index) for index, cell in enumerate(row)))
     return "\n".join(lines)

@@ -14,7 +14,7 @@ from typing import List, Set, Tuple
 
 from repro.bist.error_detector import ErrorDetector
 from repro.bist.pattern_gen import MAPatternGenerator
-from repro.soc.bus import Bus, BusDirection, TransactionKind
+from repro.soc.bus import Bus, TransactionKind
 from repro.xtalk.calibration import Calibration
 from repro.xtalk.defects import Defect, DefectLibrary
 from repro.xtalk.error_model import CrosstalkErrorModel

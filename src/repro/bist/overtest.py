@@ -21,7 +21,7 @@ This module quantifies that argument for a given functional corpus:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Sequence, Set, Tuple
 
 from repro.bist.controller import BistController
 from repro.core.program_builder import SelfTestProgram

@@ -5,6 +5,7 @@ Usage (installed as the ``repro-sbst`` entry point, or via
 
     repro-sbst build --bus addr            # build + summarize a program
     repro-sbst build --bus data --listing  # with disassembly
+    repro-sbst check --bus both --crosscheck  # static lint + crosscheck
     repro-sbst simulate --bus addr --defects 500
     repro-sbst fig11 --defects 400         # the paper's Fig. 11
     repro-sbst timing                      # Fig. 5 timing diagram
@@ -67,6 +68,32 @@ def cmd_build(args: argparse.Namespace) -> int:
         print(f"\nimage written to {args.hex} (Intel HEX, "
               f"{program.program_size} bytes)")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.static import analyze_program, crosscheck
+
+    buses = ("addr", "data") if args.bus == "both" else (args.bus,)
+    failed = False
+    for bus in buses:
+        _, program = _build_program(bus)
+        report = analyze_program(program)
+        print(report.render())
+        if args.crosscheck:
+            result = crosscheck(program, report.run)
+            verdict = "agrees" if result.agreed else "DISAGREES"
+            print(
+                f"cross-check: static prediction {verdict} with the traced "
+                f"run ({len(result.static.confirmed)} statically vs "
+                f"{len(result.dynamic.confirmed)} dynamically confirmed)"
+            )
+            failed = failed or not result.agreed
+        if len(buses) > 1:
+            print()
+        failed = failed or bool(report.lint.errors)
+        if args.strict:
+            failed = failed or bool(report.lint.warnings)
+    return 1 if failed else 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -140,6 +167,18 @@ def make_parser() -> argparse.ArgumentParser:
     build.add_argument("--hex", metavar="PATH",
                        help="write the program image as Intel HEX")
     build.set_defaults(func=cmd_build)
+
+    check = sub.add_parser(
+        "check", help="statically lint a generated self-test program"
+    )
+    check.add_argument("--bus", choices=("addr", "data", "both"),
+                       default="both")
+    check.add_argument("--strict", action="store_true",
+                       help="treat warnings as errors")
+    check.add_argument("--crosscheck", action="store_true",
+                       help="also diff the static prediction against a "
+                       "traced fault-free run")
+    check.set_defaults(func=cmd_check)
 
     simulate = sub.add_parser("simulate", help="run a defect campaign")
     simulate.add_argument("--bus", choices=("addr", "data"), default="addr")

@@ -42,7 +42,7 @@ follow-up sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set, Tuple
+from typing import Set, Tuple
 
 from repro.core.allocator import AllocationError
 from repro.core.assembly import ProgramAssembly

@@ -16,7 +16,7 @@ takes whatever value a colliding placement already fixed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from repro.core.allocator import AllocationError, GlueAllocator
 from repro.core.image import ConflictError, MemoryImage

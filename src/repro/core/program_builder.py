@@ -19,7 +19,10 @@ be scheduled into follow-up sessions with :mod:`repro.core.sessions`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.static.diagnostics import LintReport
 
 from repro.core.addrbus import (
     FragmentInfo,
@@ -34,7 +37,7 @@ from repro.core.databus import (
     build_write_test,
 )
 from repro.core.image import ConflictError
-from repro.core.maf import FaultType, MAFault, enumerate_bus_faults, ma_vector_pair
+from repro.core.maf import FaultType, MAFault, enumerate_bus_faults
 from repro.isa.instructions import ADDR_BITS, DATA_BITS, MEMORY_SIZE
 from repro.soc.bus import BusDirection
 
@@ -70,11 +73,24 @@ class SelfTestProgram:
     #: Tests whose deferred pass/fail markers resolved to equal values —
     #: applied but unable to distinguish their own pass/fail response.
     weak_tests: List[str] = field(default_factory=list)
+    #: Filled by the static analyzer when linting is requested
+    #: (see :meth:`lint` and the builder's ``lint`` flag).
+    lint_report: Optional["LintReport"] = None
 
     @property
     def program_size(self) -> int:
         """Bytes occupied by the program image (code + pinned data)."""
         return len(self.image)
+
+    def lint(self) -> "LintReport":
+        """Run the static analyzer on this program and cache its findings.
+
+        Imported lazily: :mod:`repro.static` sits above the core layer.
+        """
+        from repro.static.analyzer import analyze_program
+
+        self.lint_report = analyze_program(self).lint
+        return self.lint_report
 
     @property
     def applied_faults(self) -> List[MAFault]:
@@ -126,6 +142,9 @@ class SelfTestProgramBuilder:
         Apply Section 4.3 response compaction to memory-to-CPU data-bus
         families (falls back to individual tests when a whole group
         cannot be placed).
+    lint:
+        Statically lint every built program (:mod:`repro.static`) and
+        attach the findings as ``SelfTestProgram.lint_report``.
     """
 
     def __init__(
@@ -136,6 +155,7 @@ class SelfTestProgramBuilder:
         glue_start: int = 0x020,
         compact_data_bus: bool = True,
         address_order: str = "family",
+        lint: bool = False,
     ):
         if address_order not in ("family", "given"):
             raise ValueError("address_order must be 'family' or 'given'")
@@ -144,6 +164,9 @@ class SelfTestProgramBuilder:
         self.data_width = data_width
         self.glue_start = glue_start
         self.compact_data_bus = compact_data_bus
+        #: When set, every built program is statically linted on the way
+        #: out and carries its findings in ``lint_report``.
+        self.lint = lint
         #: "family" sorts address faults by ADDRESS_FAMILY_ORDER;
         #: "given" preserves the caller's ordering (who-wins-a-contested-
         #: byte is order-dependent, so callers can optimize).
@@ -202,7 +225,7 @@ class SelfTestProgramBuilder:
         assembly.resolve_deferred_markers()
 
         applied.reverse()
-        return SelfTestProgram(
+        program = SelfTestProgram(
             image=assembly.image.as_dict(),
             entry=assembly.next_entry,
             memory_size=self.memory_size,
@@ -211,6 +234,9 @@ class SelfTestProgramBuilder:
             response_addresses=list(assembly.response_addresses),
             weak_tests=list(assembly.weak_tests),
         )
+        if self.lint:
+            program.lint()
+        return program
 
     def build_address_bus_program(
         self, faults: Optional[Sequence[MAFault]] = None

@@ -40,15 +40,36 @@ class SessionPlan:
         """Tests applied across all sessions."""
         return sum(len(program.applied) for program in self.programs)
 
+    @property
+    def all_clean(self) -> bool:
+        """True when every linted session program is free of errors.
+
+        Programs built without linting (no ``lint_report``) count as
+        clean; pass ``lint=True`` to :func:`build_sessions` to make this
+        property meaningful for the whole plan.
+        """
+        return all(
+            program.lint_report is None or program.lint_report.clean
+            for program in self.programs
+        )
+
 
 def build_sessions(
     builder: Optional[SelfTestProgramBuilder] = None,
     address_faults: Optional[Sequence[MAFault]] = None,
     data_faults: Optional[Sequence[MAFault]] = None,
     max_sessions: int = 8,
+    lint: Optional[bool] = None,
 ) -> SessionPlan:
-    """Schedule the given faults into as few programs as conflicts allow."""
+    """Schedule the given faults into as few programs as conflicts allow.
+
+    ``lint`` overrides the builder's own lint flag for this plan: pass
+    ``True`` to statically lint every session program as it is built
+    (findings land in each program's ``lint_report``).
+    """
     builder = builder or SelfTestProgramBuilder()
+    if lint is not None:
+        builder.lint = lint
     remaining_address = list(
         builder.address_faults() if address_faults is None else address_faults
     )

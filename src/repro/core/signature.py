@@ -12,7 +12,7 @@ since the expected signature never materializes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.program_builder import SelfTestProgram
 from repro.soc.system import CpuMemorySystem

@@ -7,7 +7,7 @@ images produced by the address-bus test builders).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.isa.encoding import (
     EncodingError,
@@ -15,6 +15,34 @@ from repro.isa.encoding import (
     decode,
     instruction_length_from_first_byte,
 )
+
+
+def instruction_bytes(
+    image: Mapping[int, int],
+    address: int,
+    memory_size: int = 4096,
+    fill: Optional[int] = None,
+) -> Tuple[Optional[int], Optional[int], bool]:
+    """Fetch the raw byte(s) of the instruction starting at ``address``.
+
+    Returns ``(byte1, byte2, from_hole)``.  ``byte2`` is ``None`` for
+    one-byte instructions.  Holes in the image read as ``fill`` when one
+    is given (the memory core's power-on value), else as ``None``;
+    ``from_hole`` reports whether any consumed byte came from a hole —
+    the control-flow walkers use it to flag fall-through into unplaced
+    memory.
+    """
+    address %= memory_size
+    byte1 = image.get(address, fill)
+    from_hole = address not in image
+    if byte1 is None:
+        return None, None, from_hole
+    if instruction_length_from_first_byte(byte1) == 1:
+        return byte1, None, from_hole
+    second = (address + 1) % memory_size
+    byte2 = image.get(second, fill)
+    from_hole = from_hole or second not in image
+    return byte1, byte2, from_hole
 
 
 def disassemble_one(
@@ -37,6 +65,33 @@ def disassemble_one(
         return decode(byte1, byte2), length
     except EncodingError:
         return None, 1
+
+
+def strict_decode_at(
+    image: Mapping[int, int],
+    address: int,
+    memory_size: int = 4096,
+    fill: Optional[int] = None,
+) -> Optional[Instruction]:
+    """Strictly decode the instruction at ``address``, or ``None``.
+
+    Unlike :func:`disassemble_one` this honours ``fill`` for image holes
+    and wraps addresses, matching what the hardware would actually fetch;
+    it still applies the *strict* decoder, so encodings the permissive
+    control unit would accept (undefined implied sub-opcodes, multi-bit
+    branch masks) come back as ``None``.  The static analyzer compares
+    this against the permissive decode to spot adopted bytes that changed
+    instruction semantics.
+    """
+    byte1, byte2, _ = instruction_bytes(image, address, memory_size, fill)
+    if byte1 is None:
+        return None
+    if instruction_length_from_first_byte(byte1) == 2 and byte2 is None:
+        return None
+    try:
+        return decode(byte1, byte2)
+    except EncodingError:
+        return None
 
 
 def disassemble_image(

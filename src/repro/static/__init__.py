@@ -1,0 +1,51 @@
+"""Static analysis of generated self-test programs.
+
+The dynamic validator (:mod:`repro.core.validate`) answers "did the
+program work?" by running it; this package answers the same question —
+plus "and if not, *why*?" — without executing a cycle:
+
+* :mod:`repro.static.cfg` recovers the control-flow graph of the
+  scattered program image,
+* :mod:`repro.static.absint` abstractly interprets the accumulator
+  machine and predicts every bus word the program will drive,
+* :mod:`repro.static.coverage` turns the predicted transitions into an
+  MA-coverage verdict and cross-checks it against the dynamic trace,
+* :mod:`repro.static.analyzer` condenses everything into stable
+  ``SBST0xx`` diagnostics (:mod:`repro.static.diagnostics`).
+"""
+
+from repro.static.absint import (
+    AbstractInterpreter,
+    PredictedRun,
+    PredictedTransaction,
+    predict_run,
+)
+from repro.static.analyzer import StaticAnalysisReport, analyze_program
+from repro.static.cfg import CfgNode, ControlFlowGraph, recover_cfg
+from repro.static.coverage import (
+    CrosscheckResult,
+    StaticCoverage,
+    crosscheck,
+    predict_coverage,
+)
+from repro.static.diagnostics import Code, Diagnostic, LintReport, Severity
+
+__all__ = [
+    "AbstractInterpreter",
+    "CfgNode",
+    "Code",
+    "ControlFlowGraph",
+    "CrosscheckResult",
+    "Diagnostic",
+    "LintReport",
+    "PredictedRun",
+    "PredictedTransaction",
+    "Severity",
+    "StaticAnalysisReport",
+    "StaticCoverage",
+    "analyze_program",
+    "crosscheck",
+    "predict_coverage",
+    "predict_run",
+    "recover_cfg",
+]

@@ -1,0 +1,612 @@
+"""Abstract interpretation of the PARWAN accumulator machine.
+
+This pass predicts, without running anything, the exact sequence of
+address-bus and data-bus words a program emits.  Values live in a
+constant-propagation lattice: a byte/word is either a known constant or
+``None`` (unknown / ⊤).  The interpreter replays the control unit's
+per-instruction state sequence — the same FETCH/DECODE/OPERAND/WRITE
+phases as :mod:`repro.cpu.control`, one cycle per state — and emits one
+:class:`PredictedTransaction` wherever the hardware would drive a bus.
+
+On the generated self-test programs every placed byte is a known
+constant and there are no data-dependent branches, so the abstract
+trace is *exact*: its transition sets equal what a traced fault-free
+run observes, which is what the static/dynamic cross-check in
+:mod:`repro.static.coverage` exploits.  Hand-written programs may
+branch on run-time values; the interpreter then forks both arms and
+unions their transitions (an over-approximation, reported via
+:attr:`PredictedRun.exact`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.cpu.alu import (
+    AluResult,
+    alu_add,
+    alu_and,
+    alu_asl,
+    alu_asr,
+    alu_complement,
+    alu_sub,
+)
+from repro.cpu.control import DecodedOp, OpClass, decode_raw, expected_cycles
+from repro.isa.encoding import make_address, page_of
+from repro.isa.instructions import Mnemonic
+from repro.soc.bus import BusDirection, TransactionKind
+
+#: Power-on content of unplaced memory cells.
+MEMORY_FILL = 0x00
+
+_PC_MASK = 0xFFF
+
+
+@dataclass(frozen=True)
+class PredictedTransaction:
+    """One statically predicted bus transaction.
+
+    Mirrors :class:`repro.soc.bus.BusTransaction` minus the received
+    word (no defect model runs here); ``value`` is ``None`` when the
+    driven word is not a compile-time constant.
+    """
+
+    cycle: int
+    bus: str
+    kind: TransactionKind
+    direction: BusDirection
+    value: Optional[int]
+
+
+@dataclass(frozen=True)
+class AbstractFlags:
+    """The V/C/Z/N flags over the three-valued lattice."""
+
+    v: Optional[bool] = False
+    c: Optional[bool] = False
+    z: Optional[bool] = False
+    n: Optional[bool] = False
+
+    def matches(self, mask: int) -> Optional[bool]:
+        """Abstract branch condition: ``True``/``False`` when decidable.
+
+        Mirrors :meth:`repro.cpu.registers.Flags.matches` — the branch
+        is taken when any selected flag is set.  Returns ``None`` when a
+        selected flag is unknown and no selected flag is definitely set.
+        """
+        selected = [
+            flag
+            for bit, flag in ((8, self.v), (4, self.c), (2, self.z), (1, self.n))
+            if mask & bit
+        ]
+        if any(flag is True for flag in selected):
+            return True
+        if all(flag is False for flag in selected):
+            return False
+        return None
+
+
+class AbstractMemory:
+    """Constant-propagated memory: image bytes plus tracked run-time stores.
+
+    Cells default to the power-on fill; a store of an unknown value makes
+    the cell unknown.  ``version`` counts mutations so loop detection can
+    tell "memory unchanged" apart cheaply.
+    """
+
+    def __init__(self, image: Mapping[int, int], size: int, fill: int = MEMORY_FILL):
+        self.size = size
+        self.fill = fill
+        self._cells: Dict[int, Optional[int]] = dict(image)
+        self.version = 0
+
+    def copy(self) -> "AbstractMemory":
+        """Independent copy for a forked execution path."""
+        clone = AbstractMemory({}, self.size, self.fill)
+        clone._cells = dict(self._cells)
+        clone.version = self.version
+        return clone
+
+    def read(self, address: Optional[int]) -> Optional[int]:
+        """The cell's abstract value (unknown address reads unknown)."""
+        if address is None:
+            return None
+        return self._cells.get(address % self.size, self.fill)
+
+    def write(self, address: Optional[int], value: Optional[int]) -> None:
+        """Store ``value``; an unknown address degrades the whole memory
+        to unknown (every later read would have to account for it).
+
+        ``version`` only advances when a cell actually changes, so a loop
+        re-storing the same values still reaches a fixed point and trips
+        the state-loop detector instead of the step budget.
+        """
+        if address is None:
+            self.version += 1
+            self._cells = {a: None for a in range(self.size)}
+            return
+        address %= self.size
+        if self._cells.get(address, self.fill) != value:
+            self.version += 1
+            self._cells[address] = value
+
+
+@dataclass(frozen=True)
+class PredictedStore:
+    """One statically observed memory write (STA or JSR return byte)."""
+
+    instruction: int
+    target: Optional[int]
+    value: Optional[int]
+
+
+@dataclass(frozen=True)
+class AbsintNote:
+    """A noteworthy event of the abstract run, for the diagnostics pass."""
+
+    kind: str  # "unknown-fetch" | "lost-control" | "state-loop" | "budget"
+    address: Optional[int]
+    message: str
+
+
+@dataclass
+class PredictedRun:
+    """Everything the abstract interpretation learned about one program."""
+
+    entry: int
+    transactions: List[PredictedTransaction] = field(default_factory=list)
+    address_transitions: Set[Tuple[int, int]] = field(default_factory=set)
+    data_transitions: Set[Tuple[int, int, BusDirection]] = field(
+        default_factory=set
+    )
+    stores: List[PredictedStore] = field(default_factory=list)
+    notes: List[AbsintNote] = field(default_factory=list)
+    executed: Set[int] = field(default_factory=set)
+    steps: int = 0
+    paths: int = 1
+    halted_paths: int = 0
+    #: Bus words whose value could not be predicted (each breaks a pair).
+    imprecise_words: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """True when the prediction is a single fully-constant path."""
+        return (
+            self.paths == 1
+            and self.imprecise_words == 0
+            and not self.notes
+        )
+
+    @property
+    def all_paths_halt(self) -> bool:
+        """True when every explored path reached the halt convention."""
+        return self.halted_paths == self.paths and not self.notes
+
+
+@dataclass
+class _Path:
+    """Mutable state of one abstract execution path."""
+
+    pc: int
+    ac: Optional[int]
+    flags: AbstractFlags
+    memory: AbstractMemory
+    cycle: int = 0
+    last_addr: Optional[int] = 0
+    last_data: Optional[int] = 0
+    seen: Dict[int, Tuple] = field(default_factory=dict)
+
+    def fork(self, pc: int) -> "_Path":
+        return _Path(
+            pc=pc,
+            ac=self.ac,
+            flags=self.flags,
+            memory=self.memory.copy(),
+            cycle=self.cycle,
+            last_addr=self.last_addr,
+            last_data=self.last_data,
+            seen=dict(self.seen),
+        )
+
+
+class AbstractInterpreter:
+    """Predicts the bus activity of a program image.
+
+    Parameters
+    ----------
+    image:
+        Sparse ``address -> byte`` program image.
+    memory_size:
+        Size of the memory core (addresses are taken modulo this).
+    max_steps:
+        Instruction budget across all explored paths; exhausting it adds
+        a ``budget`` note (surfaced as possible non-termination).
+    max_paths:
+        Fork budget for unknown branch conditions.
+    """
+
+    def __init__(
+        self,
+        image: Mapping[int, int],
+        memory_size: int = 4096,
+        max_steps: int = 200_000,
+        max_paths: int = 64,
+    ):
+        self.image = dict(image)
+        self.memory_size = memory_size
+        self.max_steps = max_steps
+        self.max_paths = max_paths
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, entry: int) -> PredictedRun:
+        """Explore every path from ``entry`` and collect predictions."""
+        run = PredictedRun(entry=entry & _PC_MASK)
+        initial = _Path(
+            pc=entry & _PC_MASK,
+            ac=0,
+            flags=AbstractFlags(),
+            memory=AbstractMemory(self.image, self.memory_size),
+        )
+        pending = [initial]
+        while pending:
+            path = pending.pop()
+            if run.paths > self.max_paths:
+                run.notes.append(
+                    AbsintNote("budget", None, "fork budget exhausted")
+                )
+                break
+            self._run_path(path, run, pending)
+        return run
+
+    # -- path execution ----------------------------------------------------
+
+    def _run_path(
+        self, path: _Path, run: PredictedRun, pending: List[_Path]
+    ) -> None:
+        while True:
+            if run.steps >= self.max_steps:
+                run.notes.append(
+                    AbsintNote(
+                        "budget",
+                        path.pc,
+                        f"step budget ({self.max_steps}) exhausted",
+                    )
+                )
+                return
+            state_key = (
+                path.ac,
+                path.flags,
+                path.memory.version,
+            )
+            previous = path.seen.get(path.pc)
+            if previous == state_key:
+                run.notes.append(
+                    AbsintNote(
+                        "state-loop",
+                        path.pc,
+                        "revisited an identical machine state without "
+                        "reaching the halt convention",
+                    )
+                )
+                return
+            path.seen[path.pc] = state_key
+            run.steps += 1
+            outcome = self._step(path, run, pending)
+            if outcome == "halt":
+                run.halted_paths += 1
+                return
+            if outcome == "dead":
+                return
+
+    def _emit(
+        self,
+        run: PredictedRun,
+        path: _Path,
+        bus: str,
+        kind: TransactionKind,
+        direction: BusDirection,
+        value: Optional[int],
+    ) -> None:
+        path.cycle += 1
+        run.transactions.append(
+            PredictedTransaction(path.cycle, bus, kind, direction, value)
+        )
+        if bus == "addr":
+            if path.last_addr is not None and value is not None:
+                run.address_transitions.add((path.last_addr, value))
+            else:
+                run.imprecise_words += 1
+            path.last_addr = value
+        else:
+            if path.last_data is not None and value is not None:
+                run.data_transitions.add((path.last_data, value, direction))
+            else:
+                run.imprecise_words += 1
+            path.last_data = value
+
+    def _emit_addr(
+        self,
+        run: PredictedRun,
+        path: _Path,
+        address: Optional[int],
+        kind: TransactionKind,
+    ) -> None:
+        self._emit(run, path, "addr", kind, BusDirection.CPU_TO_MEM, address)
+
+    def _step(
+        self, path: _Path, run: PredictedRun, pending: List[_Path]
+    ) -> str:
+        """Execute one instruction; returns "ok", "halt" or "dead"."""
+        memory = path.memory
+        pc0 = path.pc
+        start_cycle = path.cycle
+        run.executed.add(pc0)
+
+        # FETCH1_ADDR / FETCH1_DATA
+        self._emit_addr(run, path, pc0, TransactionKind.FETCH)
+        byte1 = memory.read(pc0)
+        self._emit(
+            run,
+            path,
+            "data",
+            TransactionKind.FETCH,
+            BusDirection.MEM_TO_CPU,
+            byte1,
+        )
+        if byte1 is None:
+            run.notes.append(
+                AbsintNote(
+                    "unknown-fetch",
+                    pc0,
+                    "instruction byte is run-time dependent; execution "
+                    "cannot be predicted past this point",
+                )
+            )
+            return "dead"
+        decoded = decode_raw(byte1)
+        path.cycle += 1  # DECODE
+
+        if decoded.op_class is OpClass.IMPLIED:
+            path.cycle += 1  # EXECUTE_IMPLIED
+            self._apply_implied(path, decoded.mnemonic)
+            path.pc = (pc0 + 1) & _PC_MASK
+            self._check_cycles(decoded, path, start_cycle)
+            return "ok"
+
+        # FETCH2_ADDR / FETCH2_DATA
+        pc1 = (pc0 + 1) & _PC_MASK
+        self._emit_addr(run, path, pc1, TransactionKind.FETCH)
+        byte2 = memory.read(pc1)
+        self._emit(
+            run,
+            path,
+            "data",
+            TransactionKind.FETCH,
+            BusDirection.MEM_TO_CPU,
+            byte2,
+        )
+        next_pc = (pc0 + 2) & _PC_MASK
+
+        if decoded.op_class is OpClass.BRANCH:
+            path.cycle += 1  # EXECUTE_BRANCH
+            taken = path.flags.matches(decoded.branch_mask)
+            if byte2 is None and taken is not False:
+                run.notes.append(
+                    AbsintNote(
+                        "lost-control",
+                        pc0,
+                        "branch target byte is run-time dependent",
+                    )
+                )
+                return "dead"
+            target = (
+                make_address(page_of(next_pc), byte2)
+                if byte2 is not None
+                else None
+            )
+            if taken is None:
+                fork = path.fork(target)
+                pending.append(fork)
+                path.pc = next_pc
+            else:
+                path.pc = target if taken else next_pc
+            self._check_cycles(decoded, path, start_cycle)
+            return "ok"
+
+        effective: Optional[int] = (
+            make_address(decoded.page, byte2) if byte2 is not None else None
+        )
+        if decoded.indirect:
+            # POINTER_ADDR / POINTER_DATA
+            self._emit_addr(run, path, effective, TransactionKind.POINTER_READ)
+            pointer = memory.read(effective)
+            self._emit(
+                run,
+                path,
+                "data",
+                TransactionKind.POINTER_READ,
+                BusDirection.MEM_TO_CPU,
+                pointer,
+            )
+            effective = (
+                make_address(decoded.page, pointer)
+                if pointer is not None
+                else None
+            )
+
+        if decoded.op_class is OpClass.MEMREF_READ:
+            # OPERAND_ADDR / OPERAND_DATA / EXECUTE_ALU
+            self._emit_addr(run, path, effective, TransactionKind.OPERAND_READ)
+            operand = memory.read(effective)
+            self._emit(
+                run,
+                path,
+                "data",
+                TransactionKind.OPERAND_READ,
+                BusDirection.MEM_TO_CPU,
+                operand,
+            )
+            path.cycle += 1  # EXECUTE_ALU
+            self._apply_alu_op(path, decoded.mnemonic, operand)
+            path.pc = next_pc
+            self._check_cycles(decoded, path, start_cycle)
+            return "ok"
+
+        if decoded.op_class is OpClass.MEMREF_WRITE:
+            # WRITE_ADDR / WRITE_DATA
+            self._emit_addr(run, path, effective, TransactionKind.OPERAND_WRITE)
+            self._emit(
+                run,
+                path,
+                "data",
+                TransactionKind.OPERAND_WRITE,
+                BusDirection.CPU_TO_MEM,
+                path.ac,
+            )
+            memory.write(effective, path.ac)
+            run.stores.append(PredictedStore(pc0, effective, path.ac))
+            path.pc = next_pc
+            self._check_cycles(decoded, path, start_cycle)
+            return "ok"
+
+        if decoded.op_class is OpClass.JSR:
+            # WRITE_ADDR / WRITE_DATA / EXECUTE_JUMP
+            return_byte = next_pc & 0xFF
+            self._emit_addr(run, path, effective, TransactionKind.OPERAND_WRITE)
+            self._emit(
+                run,
+                path,
+                "data",
+                TransactionKind.OPERAND_WRITE,
+                BusDirection.CPU_TO_MEM,
+                return_byte,
+            )
+            memory.write(effective, return_byte)
+            run.stores.append(PredictedStore(pc0, effective, return_byte))
+            path.cycle += 1  # EXECUTE_JUMP
+            if effective is None:
+                run.notes.append(
+                    AbsintNote(
+                        "lost-control", pc0, "JSR target is run-time dependent"
+                    )
+                )
+                return "dead"
+            path.pc = (effective + 1) & _PC_MASK
+            self._check_cycles(decoded, path, start_cycle)
+            return "ok"
+
+        # OpClass.JUMP
+        path.cycle += 1  # EXECUTE_JUMP
+        if effective is None:
+            run.notes.append(
+                AbsintNote(
+                    "lost-control", pc0, "jump target is run-time dependent"
+                )
+            )
+            return "dead"
+        self._check_cycles(decoded, path, start_cycle)
+        if effective == pc0:
+            return "halt"
+        path.pc = effective & _PC_MASK
+        return "ok"
+
+    # -- semantics helpers -------------------------------------------------
+
+    def _apply_implied(self, path: _Path, mnemonic: Mnemonic) -> None:
+        ac, flags = path.ac, path.flags
+        if mnemonic is Mnemonic.CLA:
+            path.ac = 0
+        elif mnemonic is Mnemonic.CMA:
+            self._apply_alu_result(
+                path, alu_complement(ac) if ac is not None else None, "ZN"
+            )
+        elif mnemonic is Mnemonic.CMC:
+            path.flags = replace(
+                flags, c=(not flags.c) if flags.c is not None else None
+            )
+        elif mnemonic is Mnemonic.ASL:
+            self._apply_alu_result(
+                path, alu_asl(ac) if ac is not None else None, "VCZN"
+            )
+        elif mnemonic is Mnemonic.ASR:
+            self._apply_alu_result(
+                path, alu_asr(ac) if ac is not None else None, "CZN"
+            )
+        # NOP and undefined sub-opcodes: no architectural effect.
+
+    def _apply_alu_op(
+        self, path: _Path, mnemonic: Mnemonic, operand: Optional[int]
+    ) -> None:
+        ac = path.ac
+        if mnemonic is Mnemonic.LDA:
+            path.ac = operand
+            if operand is not None:
+                path.flags = replace(
+                    path.flags,
+                    z=(operand & 0xFF) == 0,
+                    n=bool(operand & 0x80),
+                )
+            else:
+                path.flags = replace(path.flags, z=None, n=None)
+            return
+        known = ac is not None and operand is not None
+        if mnemonic is Mnemonic.AND:
+            result = alu_and(ac, operand) if known else None
+            self._apply_alu_result(path, result, "ZN")
+        elif mnemonic is Mnemonic.ADD:
+            result = alu_add(ac, operand) if known else None
+            self._apply_alu_result(path, result, "VCZN")
+        elif mnemonic is Mnemonic.SUB:
+            result = alu_sub(ac, operand) if known else None
+            self._apply_alu_result(path, result, "VCZN")
+
+    def _apply_alu_result(
+        self, path: _Path, result: Optional[AluResult], touched: str
+    ) -> None:
+        if result is None:
+            path.ac = None
+            path.flags = AbstractFlags(
+                v=None if "V" in touched else path.flags.v,
+                c=None if "C" in touched else path.flags.c,
+                z=None if "Z" in touched else path.flags.z,
+                n=None if "N" in touched else path.flags.n,
+            )
+            return
+        path.ac = result.value
+        path.flags = AbstractFlags(
+            v=result.v if result.v is not None else path.flags.v,
+            c=result.c if result.c is not None else path.flags.c,
+            z=result.z,
+            n=result.n,
+        )
+
+    def _check_cycles(
+        self, decoded: "DecodedOp", path: _Path, start_cycle: int
+    ) -> None:
+        """Tie the static replay to the control unit's timing table.
+
+        Every completed instruction must have cost exactly
+        :func:`repro.cpu.control.expected_cycles` cycles; any drift
+        between this replay and the real control FSM is a bug in the
+        analyzer, not in the analyzed program.
+        """
+        spent = path.cycle - start_cycle
+        if spent != expected_cycles(decoded):
+            raise AssertionError(
+                f"static replay spent {spent} cycles on {decoded.mnemonic} "
+                f"but the control unit publishes {expected_cycles(decoded)}"
+            )
+
+
+def predict_run(
+    image: Mapping[int, int],
+    entry: int,
+    memory_size: int = 4096,
+    max_steps: int = 200_000,
+) -> PredictedRun:
+    """One-shot helper: abstractly execute ``image`` from ``entry``."""
+    return AbstractInterpreter(
+        image, memory_size=memory_size, max_steps=max_steps
+    ).run(entry)

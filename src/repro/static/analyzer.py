@@ -1,0 +1,263 @@
+"""The static analyzer: CFG + abstract interpretation -> diagnostics.
+
+:func:`analyze_program` is the front door used by the ``repro-sbst
+check`` subcommand and the builder's lint hook.  It recovers the control
+flow of the built image, abstractly executes it, predicts MA coverage
+and condenses everything into a :class:`LintReport` of stable
+``SBST0xx`` findings (see :mod:`repro.static.diagnostics` for the code
+table).
+
+Severity policy: a finding is an ERROR only when the program demonstrably
+deviates from its own specification (an applied test that cannot work, a
+clobbered placed byte, a loop that cannot end).  Artefacts the builder
+creates *on purpose* — adopted bytes in the implied-NOP range, branch
+arms that point into unplaced memory but are never taken — surface as
+INFO so the seed programs lint clean without silencing the analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.core.program_builder import AppliedTest, SelfTestProgram
+from repro.cpu.control import OpClass
+from repro.isa.instructions import IMPLIED_SUBOPS
+from repro.static.absint import PredictedRun, predict_run
+from repro.static.cfg import ControlFlowGraph, recover_cfg
+from repro.static.coverage import StaticCoverage, fault_transition_seen, predict_coverage
+from repro.static.diagnostics import Code, LintReport, Severity
+
+
+@dataclass
+class StaticAnalysisReport:
+    """Everything one static analysis run produced."""
+
+    program: SelfTestProgram
+    cfg: ControlFlowGraph
+    run: PredictedRun
+    coverage: StaticCoverage
+    lint: LintReport
+
+    @property
+    def clean(self) -> bool:
+        """True when no finding reached ERROR severity."""
+        return self.lint.clean
+
+    def render(self) -> str:
+        """Human-readable summary of the run and its findings."""
+        header = (
+            f"entry {self.program.entry:#05x}: "
+            f"{len(self.cfg.nodes)} reachable instructions, "
+            f"{self.run.steps} abstract steps, "
+            f"{len(self.coverage.confirmed)}/"
+            f"{len(self.program.applied)} MA transitions predicted"
+        )
+        return header + "\n" + self.lint.render()
+
+
+def analyze_program(
+    program: SelfTestProgram, max_steps: int = 50_000
+) -> StaticAnalysisReport:
+    """Statically lint a built self-test program."""
+    cfg = recover_cfg(program.image, program.entry, program.memory_size)
+    run = predict_run(
+        program.image, program.entry, program.memory_size, max_steps=max_steps
+    )
+    coverage = predict_coverage(program, run)
+    lint = LintReport()
+    _check_reachability(program, cfg, lint)
+    _check_stores(program, cfg, run, lint)
+    _check_responses(program, cfg, lint)
+    _check_decode_integrity(cfg, run, lint)
+    _check_ma_transitions(program, run, lint)
+    _check_termination(cfg, run, lint)
+    return StaticAnalysisReport(
+        program=program, cfg=cfg, run=run, coverage=coverage, lint=lint
+    )
+
+
+def _subject(test: AppliedTest) -> str:
+    return test.fault.name
+
+
+def _check_reachability(
+    program: SelfTestProgram, cfg: ControlFlowGraph, lint: LintReport
+) -> None:
+    """SBST001 — every applied test's fragment must be reachable."""
+    for test in program.applied:
+        if not cfg.is_reachable(test.entry):
+            lint.add(
+                Code.UNREACHABLE_FRAGMENT,
+                Severity.ERROR,
+                "applied test fragment is never reached from the program "
+                "entry point",
+                address=test.entry,
+                subject=_subject(test),
+            )
+
+
+def _check_stores(
+    program: SelfTestProgram,
+    cfg: ControlFlowGraph,
+    run: PredictedRun,
+    lint: LintReport,
+) -> None:
+    """SBST002 — no store may land on a placed byte it does not own."""
+    writable: Set[int] = set(program.response_addresses)
+    code_bytes = cfg.code_bytes()
+    for store in run.stores:
+        if store.target is None:
+            lint.add(
+                Code.STORE_CLOBBERS_CODE,
+                Severity.WARNING,
+                "store target is run-time dependent; clobbering cannot be "
+                "ruled out",
+                address=store.instruction,
+            )
+            continue
+        if store.target in writable:
+            continue
+        if store.target in code_bytes:
+            lint.add(
+                Code.STORE_CLOBBERS_CODE,
+                Severity.ERROR,
+                f"store overwrites executed code at {store.target:#05x}",
+                address=store.instruction,
+            )
+        elif store.target in program.image:
+            lint.add(
+                Code.STORE_CLOBBERS_CODE,
+                Severity.ERROR,
+                f"store overwrites placed byte {store.target:#05x} outside "
+                "every declared response region",
+                address=store.instruction,
+            )
+
+
+def _check_responses(
+    program: SelfTestProgram, cfg: ControlFlowGraph, lint: LintReport
+) -> None:
+    """SBST003 — response cells must be distinct and outside the code."""
+    counts = Counter(program.response_addresses)
+    for address, count in sorted(counts.items()):
+        if count > 1:
+            lint.add(
+                Code.RESPONSE_HAZARD,
+                Severity.ERROR,
+                f"response cell registered {count} times; a later test "
+                "overwrites an earlier response",
+                address=address,
+            )
+    code_bytes = cfg.code_bytes()
+    for address in sorted(counts):
+        if address in code_bytes:
+            lint.add(
+                Code.RESPONSE_HAZARD,
+                Severity.ERROR,
+                "response cell overlaps a reachable instruction byte",
+                address=address,
+            )
+
+
+def _check_decode_integrity(
+    cfg: ControlFlowGraph, run: PredictedRun, lint: LintReport
+) -> None:
+    """SBST004 — adopted/hole bytes whose decode the builder did not write.
+
+    Undefined implied sub-opcodes execute as NOP by design (the builder
+    adopts conflicting bytes into that range), so they are INFO.  Any
+    other strict/permissive divergence on an *executed* instruction is an
+    error; on a merely walk-reachable one (e.g. the untaken arm of a
+    branch) it is a warning.
+    """
+    for node in sorted(cfg.nodes.values(), key=lambda n: n.address):
+        executed = node.address in run.executed
+        if node.strict_mismatch:
+            benign = (
+                node.op_class is OpClass.IMPLIED
+                and (node.byte1 & 0x0F) not in _DEFINED_IMPLIED_SUBOPS
+            )
+            if benign:
+                lint.add(
+                    Code.SEMANTICS_CHANGED,
+                    Severity.INFO,
+                    f"adopted byte {node.byte1:#04x} is an undefined "
+                    "implied sub-opcode; the hardware executes it as NOP",
+                    address=node.address,
+                )
+            else:
+                lint.add(
+                    Code.SEMANTICS_CHANGED,
+                    Severity.ERROR if executed else Severity.WARNING,
+                    f"bytes `{node.text}` decode differently under the "
+                    "strict ISA decoder than on the hardware",
+                    address=node.address,
+                )
+        if node.from_hole:
+            lint.add(
+                Code.SEMANTICS_CHANGED,
+                Severity.WARNING if executed else Severity.INFO,
+                "instruction reads unplaced memory (power-on fill); the "
+                "assembler never emitted these bytes",
+                address=node.address,
+            )
+
+
+def _check_ma_transitions(
+    program: SelfTestProgram, run: PredictedRun, lint: LintReport
+) -> None:
+    """SBST005 — every applied test's vector pair must be predicted."""
+    seen: Dict[object, AppliedTest] = {}
+    for test in program.applied:
+        if test.fault in seen:
+            lint.add(
+                Code.MA_TRANSITION,
+                Severity.WARNING,
+                "fault is applied twice; the second application is "
+                "redundant",
+                address=test.entry,
+                subject=_subject(test),
+            )
+        seen[test.fault] = test
+        if not fault_transition_seen(test.fault, run):
+            lint.add(
+                Code.MA_TRANSITION,
+                Severity.ERROR,
+                "MA vector pair never appears in the statically predicted "
+                "bus transitions",
+                address=test.entry,
+                subject=_subject(test),
+            )
+
+
+def _check_termination(
+    cfg: ControlFlowGraph, run: PredictedRun, lint: LintReport
+) -> None:
+    """SBST006 — the program must provably reach the halt convention."""
+    if not cfg.halt_nodes:
+        lint.add(
+            Code.NON_TERMINATION,
+            Severity.ERROR,
+            "no halt-convention self-loop is reachable from the entry",
+        )
+    for note in run.notes:
+        if note.kind in ("state-loop", "budget"):
+            lint.add(
+                Code.NON_TERMINATION,
+                Severity.ERROR,
+                note.message,
+                address=note.address,
+            )
+        else:  # unknown-fetch / lost-control: analysis imprecision
+            lint.add(
+                Code.NON_TERMINATION,
+                Severity.WARNING,
+                f"termination cannot be proven: {note.message}",
+                address=note.address,
+            )
+
+
+#: Implied sub-opcodes the strict ISA defines (low nibble of 0xF?).
+_DEFINED_IMPLIED_SUBOPS = frozenset(IMPLIED_SUBOPS.values())

@@ -1,0 +1,255 @@
+"""Control-flow-graph recovery from an assembled self-test image.
+
+The generated programs are scattered: fragments sit at vector-dictated
+addresses, chained by ``JMP``s and terminated by a self-loop halt.  This
+pass re-discovers that structure from the bytes alone — it decodes with
+the *permissive* hardware decoder (:func:`repro.cpu.control.decode_raw`),
+because that is what the CPU will actually execute, and separately
+consults the strict ISA decoder to flag bytes whose adopted values changed
+the instruction's meaning.
+
+The walk follows every statically resolvable edge:
+
+* fall-through for non-control instructions,
+* both arms of a branch,
+* direct ``JMP``/``JSR`` targets,
+* indirect ``JMP@`` targets through the *initial* pointer-cell value
+  (a pointer cell that a reachable store may rewrite is reported as an
+  unresolved edge instead of guessed).
+
+A ``JMP`` to its own first byte is the halt convention and terminates a
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.cpu.control import OpClass, decode_raw
+from repro.isa.disassembler import instruction_bytes, strict_decode_at
+from repro.isa.encoding import make_address, page_of
+
+#: Power-on content of unplaced memory cells (the memory core's fill).
+MEMORY_FILL = 0x00
+
+
+@dataclass(frozen=True)
+class CfgNode:
+    """One reachable instruction.
+
+    ``successors`` holds the statically resolved follow-on addresses;
+    ``is_halt`` marks the self-loop ``JMP``; ``from_hole`` is true when
+    any consumed byte came from unplaced memory; ``strict_mismatch`` is
+    true when the strict ISA decode of the same bytes disagrees with the
+    permissive hardware decode (or fails entirely).
+    """
+
+    address: int
+    length: int
+    op_class: OpClass
+    byte1: int
+    byte2: Optional[int]
+    successors: Tuple[int, ...]
+    is_halt: bool = False
+    from_hole: bool = False
+    strict_mismatch: bool = False
+
+    @property
+    def text(self) -> str:
+        """Raw bytes as hex, e.g. ``"80 22"``."""
+        raw = f"{self.byte1:02x}"
+        if self.byte2 is not None:
+            raw += f" {self.byte2:02x}"
+        return raw
+
+    @property
+    def indirect(self) -> bool:
+        """True for the indirect-addressing MEMREF variants."""
+        return decode_raw(self.byte1).indirect
+
+    def effective_address(self) -> Optional[int]:
+        """The direct effective address of a MEMREF node (else ``None``).
+
+        Indirect variants return ``None`` — their effective address goes
+        through a pointer cell and belongs to the abstract interpreter.
+        """
+        decoded = decode_raw(self.byte1)
+        if decoded.op_class in (OpClass.IMPLIED, OpClass.BRANCH):
+            return None
+        if decoded.indirect:
+            return None
+        operand = self.byte2 if self.byte2 is not None else MEMORY_FILL
+        return make_address(decoded.page, operand)
+
+
+@dataclass
+class ControlFlowGraph:
+    """The recovered control-flow graph of one program image."""
+
+    entry: int
+    memory_size: int = 4096
+    nodes: Dict[int, CfgNode] = field(default_factory=dict)
+    #: Addresses of halt-convention self-loops.
+    halt_nodes: Set[int] = field(default_factory=set)
+    #: Nodes whose indirect jump target could not be resolved statically.
+    unresolved_nodes: Set[int] = field(default_factory=set)
+
+    @property
+    def reachable(self) -> Set[int]:
+        """Addresses of all reachable instructions."""
+        return set(self.nodes)
+
+    def code_bytes(self) -> Set[int]:
+        """Every image address occupied by a reachable instruction."""
+        covered: Set[int] = set()
+        for node in self.nodes.values():
+            covered.update(
+                (node.address + k) % self.memory_size for k in range(node.length)
+            )
+        return covered
+
+    def is_reachable(self, address: int) -> bool:
+        """True when an instruction starts at ``address`` in the walk."""
+        return address in self.nodes
+
+    def basic_blocks(self) -> List[Tuple[int, ...]]:
+        """Group nodes into maximal single-entry straight-line runs."""
+        preds: Dict[int, List[int]] = {a: [] for a in self.nodes}
+        for node in self.nodes.values():
+            for succ in node.successors:
+                if succ in preds:
+                    preds[succ].append(node.address)
+        leaders = {self.entry}
+        for node in self.nodes.values():
+            if len(node.successors) != 1:
+                leaders.update(s for s in node.successors if s in self.nodes)
+            else:
+                succ = node.successors[0]
+                if succ in preds and len(preds[succ]) > 1:
+                    leaders.add(succ)
+        blocks: List[Tuple[int, ...]] = []
+        for leader in sorted(leaders & set(self.nodes)):
+            run = [leader]
+            node = self.nodes[leader]
+            while (
+                len(node.successors) == 1
+                and node.successors[0] in self.nodes
+                and node.successors[0] not in leaders
+            ):
+                run.append(node.successors[0])
+                node = self.nodes[node.successors[0]]
+            blocks.append(tuple(run))
+        return blocks
+
+
+def _successors(
+    address: int,
+    byte1: int,
+    byte2: Optional[int],
+    image: Mapping[int, int],
+    memory_size: int,
+) -> Tuple[Tuple[int, ...], bool]:
+    """Resolve the follow-on addresses of the instruction at ``address``.
+
+    Returns ``(successors, is_halt)``.
+    """
+    decoded = decode_raw(byte1)
+    fallthrough = (address + (2 if decoded.two_bytes else 1)) % memory_size
+    if decoded.op_class is OpClass.IMPLIED:
+        return (fallthrough,), False
+    if byte2 is None:
+        byte2 = MEMORY_FILL
+    if decoded.op_class is OpClass.BRANCH:
+        # The hardware branches within the page of the *advanced* PC.
+        target = make_address(page_of(fallthrough), byte2)
+        if target == fallthrough:
+            return (fallthrough,), False
+        return (fallthrough, target), False
+    effective = make_address(decoded.page, byte2)
+    if decoded.op_class is OpClass.JUMP:
+        if decoded.indirect:
+            pointer = image.get(effective % memory_size)
+            if pointer is None:
+                pointer = MEMORY_FILL
+            effective = make_address(decoded.page, pointer)
+        if effective == address:
+            return (), True
+        return (effective,), False
+    if decoded.op_class is OpClass.JSR:
+        return ((effective + 1) % memory_size,), False
+    # Plain memory reads/writes fall through.
+    return (fallthrough,), False
+
+
+def recover_cfg(
+    image: Mapping[int, int],
+    entry: int,
+    memory_size: int = 4096,
+    max_nodes: int = 65536,
+) -> ControlFlowGraph:
+    """Walk every statically resolvable path of ``image`` from ``entry``."""
+    cfg = ControlFlowGraph(entry=entry % memory_size, memory_size=memory_size)
+    worklist: List[int] = [cfg.entry]
+    while worklist and len(cfg.nodes) < max_nodes:
+        address = worklist.pop() % memory_size
+        if address in cfg.nodes:
+            continue
+        byte1, byte2, from_hole = instruction_bytes(
+            image, address, memory_size, fill=MEMORY_FILL
+        )
+        assert byte1 is not None  # fill guarantees a byte
+        decoded = decode_raw(byte1)
+        # The strict decoder rejects undefined implied sub-opcodes,
+        # unknown branch masks and the indirect-JSR bit; when it *does*
+        # decode, its semantics agree with the hardware by construction.
+        strict = strict_decode_at(image, address, memory_size, fill=MEMORY_FILL)
+        strict_mismatch = strict is None
+        successors, is_halt = _successors(
+            address, byte1, byte2, image, memory_size
+        )
+        node = CfgNode(
+            address=address,
+            length=2 if decoded.two_bytes else 1,
+            op_class=decoded.op_class,
+            byte1=byte1,
+            byte2=byte2 if decoded.two_bytes else None,
+            successors=successors,
+            is_halt=is_halt,
+            from_hole=from_hole,
+            strict_mismatch=strict_mismatch,
+        )
+        cfg.nodes[address] = node
+        if is_halt:
+            cfg.halt_nodes.add(address)
+        # Record instructions fetched from wholly unplaced memory (the
+        # walk arrived there, which SBST004 reports) but do not follow
+        # them further: decoding an unbounded run of fill bytes would
+        # bury the graph in fictitious nodes.
+        if address in image:
+            worklist.extend(successors)
+    _mark_unresolved_indirect_jumps(cfg)
+    return cfg
+
+
+def _mark_unresolved_indirect_jumps(cfg: ControlFlowGraph) -> None:
+    """Flag ``JMP@`` nodes whose pointer cell a reachable store may rewrite.
+
+    The walk resolved indirect jumps through the *initial* image value of
+    the pointer cell; if a reachable ``STA``/``JSR`` targets that cell, the
+    run-time target may differ, so the edge is only a best guess.
+    """
+    store_targets = {
+        node.effective_address()
+        for node in cfg.nodes.values()
+        if node.op_class in (OpClass.MEMREF_WRITE, OpClass.JSR)
+        and node.effective_address() is not None
+    }
+    for node in cfg.nodes.values():
+        if node.op_class is OpClass.JUMP and node.indirect:
+            operand = node.byte2 if node.byte2 is not None else MEMORY_FILL
+            pointer_cell = make_address(
+                decode_raw(node.byte1).page, operand
+            ) % cfg.memory_size
+            if pointer_cell in store_targets:
+                cfg.unresolved_nodes.add(node.address)

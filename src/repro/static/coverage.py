@@ -1,0 +1,121 @@
+"""Static MA-coverage prediction and the static/dynamic cross-check.
+
+:func:`predict_coverage` answers the same question as
+:func:`repro.core.validate.validate_applied_tests` — *does every applied
+test's MA vector pair really appear on the bus under test?* — but from
+the abstract trace alone, without simulating a single cycle.
+
+:func:`crosscheck` then runs both and diffs them.  On builder-generated
+programs the abstract trace is exact (single constant path), so any
+disagreement — a fault confirmed by one side only, a transition set
+mismatch, a halting mismatch — is a bug in either the static replay or
+the dynamic machine model, never an acceptable approximation.  The test
+suite pins this agreement for every seed-built program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.core.maf import MAFault, ma_vector_pair
+from repro.core.program_builder import SelfTestProgram
+from repro.core.validate import ValidationReport, observed_transitions, validate_applied_tests
+from repro.soc.bus import BusDirection
+from repro.static.absint import PredictedRun, predict_run
+
+
+@dataclass
+class StaticCoverage:
+    """Statically predicted fate of every applied test."""
+
+    confirmed: List[MAFault] = field(default_factory=list)
+    missing: List[MAFault] = field(default_factory=list)
+    halts: bool = True
+    #: True when the prediction came from a single fully-constant path.
+    exact: bool = True
+
+    @property
+    def all_confirmed(self) -> bool:
+        """True when every applied test's transition is predicted."""
+        return self.halts and not self.missing
+
+
+def fault_transition_seen(fault: MAFault, run: PredictedRun) -> bool:
+    """Whether the fault's MA vector pair appears in the predicted trace."""
+    pair = ma_vector_pair(fault)
+    if fault.direction is None:
+        return (pair.v1, pair.v2) in run.address_transitions
+    return (pair.v1, pair.v2, fault.direction) in run.data_transitions
+
+
+def predict_coverage(
+    program: SelfTestProgram, run: Optional[PredictedRun] = None
+) -> StaticCoverage:
+    """Predict the validation outcome of ``program`` without running it."""
+    if run is None:
+        run = predict_run(program.image, program.entry, program.memory_size)
+    coverage = StaticCoverage(halts=run.all_paths_halt, exact=run.exact)
+    for test in program.applied:
+        if fault_transition_seen(test.fault, run):
+            coverage.confirmed.append(test.fault)
+        else:
+            coverage.missing.append(test.fault)
+    return coverage
+
+
+@dataclass
+class CrosscheckResult:
+    """The diff between static prediction and dynamic validation."""
+
+    static: StaticCoverage
+    dynamic: ValidationReport
+    #: Faults the static pass confirms but the traced run does not.
+    static_only: List[MAFault] = field(default_factory=list)
+    #: Faults the traced run confirms but the static pass does not.
+    dynamic_only: List[MAFault] = field(default_factory=list)
+    #: Address-bus transition pairs seen by exactly one side.
+    address_diff: Set[Tuple[int, int]] = field(default_factory=set)
+    #: Data-bus transition triples seen by exactly one side.
+    data_diff: Set[Tuple[int, int, BusDirection]] = field(default_factory=set)
+
+    @property
+    def agreed(self) -> bool:
+        """True when both sides reached identical conclusions."""
+        return (
+            not self.static_only
+            and not self.dynamic_only
+            and not self.address_diff
+            and not self.data_diff
+            and self.static.halts == self.dynamic.halted
+        )
+
+
+def crosscheck(
+    program: SelfTestProgram, run: Optional[PredictedRun] = None
+) -> CrosscheckResult:
+    """Diff the static prediction against a traced fault-free run.
+
+    Compares per-fault verdicts *and* the raw transition sets; on an
+    exact abstract trace both must match bit for bit.
+    """
+    if run is None:
+        run = predict_run(program.image, program.entry, program.memory_size)
+    static = predict_coverage(program, run)
+    dynamic = validate_applied_tests(program)
+    observed_addr, observed_data, _, _ = observed_transitions(program)
+
+    statically_confirmed = set(static.confirmed)
+    dynamically_confirmed = set(dynamic.confirmed)
+    return CrosscheckResult(
+        static=static,
+        dynamic=dynamic,
+        static_only=sorted(
+            statically_confirmed - dynamically_confirmed, key=lambda f: f.name
+        ),
+        dynamic_only=sorted(
+            dynamically_confirmed - statically_confirmed, key=lambda f: f.name
+        ),
+        address_diff=run.address_transitions ^ observed_addr,
+        data_diff=run.data_transitions ^ observed_data,
+    )

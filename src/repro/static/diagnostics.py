@@ -1,0 +1,148 @@
+"""Stable diagnostic codes and the lint report of the static analyzer.
+
+Every finding of the static passes is a :class:`Diagnostic` carrying one
+of the stable ``SBST0xx`` codes below, so downstream tooling (CI gates,
+dashboards, the ``repro-sbst check`` exit code) can filter on codes and
+severities without parsing messages:
+
+=========  ========================================================
+code       meaning
+=========  ========================================================
+SBST001    unreachable fragment (an applied test's entry is never
+           reached from the program entry point)
+SBST002    a store clobbers code or another fragment's placed byte
+SBST003    response-region hazard (a run-time-written response cell
+           overlaps executed code, or is registered twice)
+SBST004    adopted byte changed instruction semantics (a reachable
+           byte decodes differently under the permissive hardware
+           decoder than under the strict ISA decoder, or execution
+           falls through into unplaced memory)
+SBST005    missing/duplicate MA transition (an applied test's vector
+           pair is absent from the statically predicted bus
+           transitions, or the same fault is applied twice)
+SBST006    possible non-termination (a constant-state loop that is
+           not the halt convention, or the step budget ran out)
+=========  ========================================================
+
+Severities: ``ERROR`` findings mean the program demonstrably deviates
+from its specification; ``WARNING`` findings are suspicious-but-survivable
+(e.g. analysis imprecision); ``INFO`` is commentary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+
+
+class Code(enum.Enum):
+    """Stable diagnostic codes of the static analyzer."""
+
+    UNREACHABLE_FRAGMENT = "SBST001"
+    STORE_CLOBBERS_CODE = "SBST002"
+    RESPONSE_HAZARD = "SBST003"
+    SEMANTICS_CHANGED = "SBST004"
+    MA_TRANSITION = "SBST005"
+    NON_TERMINATION = "SBST006"
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``address`` is the image address the finding anchors to (``None``
+    for whole-program findings) and ``subject`` names the test, fragment
+    or region concerned.
+    """
+
+    code: Code
+    severity: Severity
+    message: str
+    address: Optional[int] = None
+    subject: str = ""
+
+    def __str__(self) -> str:
+        where = f" at {self.address:#05x}" if self.address is not None else ""
+        who = f" [{self.subject}]" if self.subject else ""
+        return (
+            f"{self.code.value} {self.severity.name.lower()}{where}{who}: "
+            f"{self.message}"
+        )
+
+
+@dataclass
+class LintReport:
+    """The ordered diagnostic list of one analysis run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: Code,
+        severity: Severity,
+        message: str,
+        address: Optional[int] = None,
+        subject: str = "",
+    ) -> None:
+        """Record one finding."""
+        self.diagnostics.append(
+            Diagnostic(code, severity, message, address=address, subject=subject)
+        )
+
+    def extend(self, diagnostics: Sequence[Diagnostic]) -> None:
+        """Merge findings from a sub-pass."""
+        self.diagnostics.extend(diagnostics)
+
+    def by_code(self, code: Code) -> List[Diagnostic]:
+        """All findings with the given code."""
+        return [d for d in self.diagnostics if d.code is code]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Findings at ERROR severity."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Findings at WARNING severity."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """True when no finding reaches ERROR severity."""
+        return not self.errors
+
+    def render(self, title: str = "static analysis findings") -> str:
+        """The findings as an aligned table (empty reports say so)."""
+        if not self.diagnostics:
+            return f"{title}\n(no findings)"
+        rows = []
+        for diagnostic in sorted(
+            self.diagnostics, key=lambda d: (-d.severity, d.code.value)
+        ):
+            rows.append(
+                (
+                    diagnostic.code.value,
+                    diagnostic.severity.name.lower(),
+                    "-" if diagnostic.address is None
+                    else f"{diagnostic.address:#05x}",
+                    diagnostic.subject or "-",
+                    diagnostic.message,
+                )
+            )
+        return format_table(
+            ("code", "severity", "address", "subject", "message"),
+            rows,
+            title=title,
+        )

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.coverage import DefectSimulator
 from repro.core.diagnosis import (
     DiagnosisReport,
     diagnose,

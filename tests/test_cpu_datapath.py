@@ -1,7 +1,5 @@
 """Datapath tests: instruction semantics and cycle-accurate timing."""
 
-import pytest
-
 from repro.cpu.control import expected_cycles, decode_raw
 from repro.isa.assembler import assemble
 from repro.soc.system import CpuMemorySystem

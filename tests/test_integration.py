@@ -1,7 +1,5 @@
 """Cross-module integration tests: the full paper pipeline end to end."""
 
-import pytest
-
 from repro.core.coverage import DefectSimulator
 from repro.core.maf import FaultType
 from repro.core.sessions import build_sessions

@@ -1,0 +1,100 @@
+"""Property tests: every encodable instruction survives the round trip.
+
+``encode -> disassemble_one -> encode`` must be the identity on byte
+sequences for all 23 instruction variants across their full operand
+ranges, and the disassembler must resynchronize (consume exactly one
+byte) on anything the strict decoder rejects.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.encoding import (
+    EncodingError,
+    Instruction,
+    decode,
+    encode,
+    instruction_length_from_first_byte,
+)
+from repro.isa.disassembler import disassemble_one
+from repro.isa.instructions import Format, INSTRUCTION_SET, instruction_count
+
+
+def _instructions() -> st.SearchStrategy:
+    """Every variant of the 23-entry registry with a full-range operand."""
+
+    def build(spec, operand, offset):
+        if spec.format is Format.IMPLIED:
+            return Instruction(spec.mnemonic)
+        if spec.format is Format.BRANCH:
+            return Instruction(spec.mnemonic, operand=offset)
+        return Instruction(
+            spec.mnemonic, indirect=spec.indirect, operand=operand
+        )
+
+    return st.builds(
+        build,
+        st.sampled_from(INSTRUCTION_SET),
+        st.integers(0, 0xFFF),
+        st.integers(0, 0xFF),
+    )
+
+
+def test_registry_is_complete():
+    assert instruction_count() == 23
+
+
+@settings(max_examples=300)
+@given(instruction=_instructions(), base=st.integers(0, 0x800))
+def test_encode_disassemble_encode_roundtrip(instruction, base):
+    raw = encode(instruction)
+    assert len(raw) == instruction.length
+    image = {base + k: byte for k, byte in enumerate(raw)}
+    decoded, length = disassemble_one(image, base)
+    assert decoded is not None
+    assert length == len(raw)
+    assert encode(decoded) == raw
+    assert decoded.mnemonic is instruction.mnemonic
+    assert decoded.indirect == instruction.indirect
+
+
+@settings(max_examples=300)
+@given(byte1=st.integers(0, 0xFF), byte2=st.integers(0, 0xFF))
+def test_disassembler_resynchronizes_on_strict_rejects(byte1, byte2):
+    image = {0: byte1, 1: byte2}
+    decoded, length = disassemble_one(image, 0)
+    try:
+        strict = decode(
+            byte1,
+            byte2 if instruction_length_from_first_byte(byte1) == 2 else None,
+        )
+    except EncodingError:
+        strict = None
+    if strict is None:
+        # Invalid first byte: exactly one byte consumed so the caller
+        # can resynchronize at the next address.
+        assert decoded is None and length == 1
+    else:
+        assert decoded == strict
+        assert length == instruction_length_from_first_byte(byte1)
+
+
+@settings(max_examples=200)
+@given(
+    data=st.lists(st.integers(0, 0xFF), min_size=1, max_size=24),
+    base=st.integers(0, 0x400),
+)
+def test_linear_sweep_consumes_every_byte_once(data, base):
+    image = {base + k: byte for k, byte in enumerate(data)}
+    cursor = base
+    consumed = 0
+    while cursor in image:
+        decoded, length = disassemble_one(image, cursor)
+        if decoded is not None:
+            assert [
+                image.get(cursor + k) for k in range(length)
+            ] == list(encode(decoded))
+        else:
+            assert length == 1
+        cursor += length
+        consumed += length
+    assert consumed >= len(data)

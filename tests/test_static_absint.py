@@ -1,0 +1,194 @@
+"""Abstract interpretation and bus-word prediction (repro.static.absint)."""
+
+from repro.isa.assembler import assemble
+from repro.soc.bus import BusDirection
+from repro.soc.system import CpuMemorySystem
+from repro.soc.tracer import BusTracer
+from repro.static.absint import predict_run
+
+
+def _trace(image, entry, max_cycles=100_000):
+    """Dynamic reference: run the image and collect bus activity."""
+    system = CpuMemorySystem()
+    system.load_image(image)
+    tracer = BusTracer([system.address_bus, system.data_bus])
+    result = system.run(entry=entry, max_cycles=max_cycles)
+    return tracer, result
+
+
+def _assert_exact_match(source: str, entry: int):
+    """The abstract trace must equal the dynamic one word for word."""
+    image = assemble(source).image
+    run = predict_run(image, entry)
+    tracer, result = _trace(image, entry)
+    assert run.exact and run.all_paths_halt
+    assert result.halted
+    predicted = [
+        (t.cycle, t.kind, t.direction, t.value)
+        for t in run.transactions
+    ]
+    observed = [
+        (t.cycle, t.kind, t.direction, t.driven)
+        for t in tracer.transactions
+    ]
+    assert predicted == observed
+    assert run.address_transitions == {
+        (t.previous, t.driven) for t in tracer.on_bus("addr")
+    }
+    assert run.data_transitions == {
+        (t.previous, t.driven, t.direction) for t in tracer.on_bus("data")
+    }
+    return run
+
+
+def test_exact_prediction_every_instruction_class():
+    _assert_exact_match(
+        """
+        .org 0x010
+        cla
+        cma
+        asl
+        asr
+        cmc
+        nop
+        lda 0:0x60
+        and 0:0x61
+        add 0:0x62
+        sub 0:0x63
+        lda@ 0:0x64
+        sta 0:0x70
+        jsr 0:0x50
+halt:   jmp halt
+
+        .org 0x051
+        jmp 0:0x024        ; return to the halt after the JSR
+
+        .org 0x060
+        .byte 0xC3
+        .byte 0x0F
+        .byte 0x11
+        .byte 0x02
+        .byte 0x66         ; pointer for lda@
+        .org 0x066
+        .byte 0x99
+        """,
+        0x010,
+    )
+
+
+def test_exact_prediction_branch_taken_and_not_taken():
+    _assert_exact_match(
+        """
+        .org 0x010
+        cla                ; Z is set by nothing yet; AC known 0
+        lda 0:0x40         ; loads 0x00 -> Z set
+        bra_z 0x20         ; taken
+        nop
+        .org 0x020
+        lda 0:0x41         ; loads 0x01 -> Z clear
+        bra_z 0x30         ; not taken
+halt:   jmp halt
+        .org 0x040
+        .byte 0x00
+        .byte 0x01
+        """,
+        0x010,
+    )
+
+
+def test_exact_prediction_terminating_store_loop():
+    # Decrement a counter cell until zero: exercises stores, flags and
+    # the loop detector's tolerance for productive (state-changing) loops.
+    _assert_exact_match(
+        """
+        .org 0x010
+loop:   lda 0:0x40
+        sub 0:0x41
+        sta 0:0x40
+        bra_z 0x1a
+        jmp 0:0x010
+halt:   jmp halt
+        .org 0x040
+        .byte 0x03
+        .byte 0x01
+        """,
+        0x010,
+    )
+
+
+def test_store_updates_are_read_back():
+    # JSR plants the return byte; the subroutine loads it back: the
+    # abstract memory must show the stored value, not the initial fill.
+    run = _assert_exact_match(
+        """
+        .org 0x010
+        jsr 0:0x30
+halt:   jmp halt
+        .org 0x031
+        lda 0:0x30         ; reads the just-written return offset (0x12)
+        jmp 0:0x012
+        """,
+        0x010,
+    )
+    assert any(
+        store.target == 0x030 and store.value == 0x12 for store in run.stores
+    )
+
+
+def test_constant_state_loop_is_detected():
+    image = assemble(
+        """
+        .org 0x010
+        nop
+        jmp 0:0x010
+        """
+    ).image
+    run = predict_run(image, 0x010)
+    assert not run.all_paths_halt
+    assert any(note.kind == "state-loop" for note in run.notes)
+
+
+def test_idempotent_store_loop_reaches_fixed_point():
+    # STA rewrites the same value each iteration: memory stops changing,
+    # so the state-loop detector must catch it without a step budget.
+    image = assemble(
+        """
+        .org 0x010
+        cla
+loop:   sta 0:0x40
+        jmp 0:0x011
+        """
+    ).image
+    run = predict_run(image, 0x010, max_steps=10_000)
+    assert any(note.kind == "state-loop" for note in run.notes)
+    assert run.steps < 100
+
+
+def test_cycle_numbering_matches_the_system(address_program):
+    run = predict_run(
+        address_program.image,
+        address_program.entry,
+        address_program.memory_size,
+    )
+    tracer, result = _trace(address_program.image, address_program.entry)
+    assert run.exact
+    assert run.transactions[-1].cycle <= result.cycles
+    assert [
+        (t.cycle, t.value) for t in run.transactions if t.bus == "addr"
+    ] == [(t.cycle, t.driven) for t in tracer.on_bus("addr")]
+
+
+def test_directions_follow_the_datapath():
+    image = assemble(
+        """
+        .org 0x010
+        sta 0:0x40
+halt:   jmp halt
+        """
+    ).image
+    run = predict_run(image, 0x010)
+    writes = [
+        t for t in run.transactions
+        if t.bus == "data" and t.direction is BusDirection.CPU_TO_MEM
+    ]
+    assert len(writes) == 1 and writes[0].value == 0  # AC resets to 0

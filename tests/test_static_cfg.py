@@ -1,0 +1,151 @@
+"""Control-flow-graph recovery (repro.static.cfg)."""
+
+from repro.cpu.control import OpClass
+from repro.isa.assembler import assemble
+from repro.static.cfg import recover_cfg
+
+
+def _cfg(source: str, entry: int):
+    program = assemble(source)
+    return recover_cfg(program.image, entry)
+
+
+def test_straight_line_with_halt():
+    cfg = _cfg(
+        """
+        .org 0x010
+        cla
+        lda 0:0x40
+halt:   jmp halt
+        .org 0x040
+        .byte 0x55
+        """,
+        0x010,
+    )
+    assert sorted(cfg.nodes) == [0x010, 0x011, 0x013]
+    assert cfg.halt_nodes == {0x013}
+    assert cfg.nodes[0x013].is_halt
+    assert cfg.nodes[0x010].op_class is OpClass.IMPLIED
+    assert cfg.nodes[0x011].op_class is OpClass.MEMREF_READ
+    # The loaded data byte is not code.
+    assert 0x040 not in cfg.nodes
+    assert 0x040 not in cfg.code_bytes()
+
+
+def test_branch_covers_both_arms():
+    cfg = _cfg(
+        """
+        .org 0x010
+        bra_z 0x20
+        nop
+halt:   jmp halt
+        .org 0x020
+other:  jmp other
+        """,
+        0x010,
+    )
+    node = cfg.nodes[0x010]
+    assert set(node.successors) == {0x012, 0x020}
+    # Both arms reach their own halt self-loop.
+    assert cfg.halt_nodes == {0x013, 0x020}
+
+
+def test_jsr_enters_after_the_return_slot():
+    cfg = _cfg(
+        """
+        .org 0x010
+        jsr 0:0x30
+halt:   jmp halt
+        .org 0x031
+        cla
+back:   jmp back
+        """,
+        0x010,
+    )
+    assert cfg.nodes[0x010].successors == (0x031,)
+    assert 0x031 in cfg.nodes  # the subroutine body
+    assert 0x030 not in cfg.nodes  # the return-byte slot is data
+
+
+def test_indirect_jump_resolves_through_initial_pointer():
+    cfg = _cfg(
+        """
+        .org 0x010
+        jmp@ 0:0x30
+        .org 0x030
+        .byte 0x40
+        .org 0x040
+halt:   jmp halt
+        """,
+        0x010,
+    )
+    assert cfg.nodes[0x010].successors == (0x040,)
+    assert cfg.nodes[0x010].indirect
+    assert 0x010 not in cfg.unresolved_nodes
+
+
+def test_indirect_jump_with_rewritten_pointer_is_unresolved():
+    cfg = _cfg(
+        """
+        .org 0x010
+        sta 0:0x30
+        jmp@ 0:0x30
+        .org 0x030
+        .byte 0x40
+        .org 0x040
+halt:   jmp halt
+        """,
+        0x010,
+    )
+    assert 0x012 in cfg.unresolved_nodes
+
+
+def test_fallthrough_into_unplaced_memory_is_marked():
+    # A lone CLA falls through into a hole; the fill byte 0x00 decodes
+    # permissively (LDA 0:0x00), so the walk continues but marks it.
+    cfg = _cfg(".org 0x010\ncla", 0x010)
+    assert cfg.nodes[0x011].from_hole
+    assert cfg.nodes[0x011].strict_mismatch is False  # fill decodes strictly
+
+
+def test_effective_address_and_text():
+    cfg = _cfg(
+        """
+        .org 0x010
+        sta 3:0x7F
+halt:   jmp halt
+        """,
+        0x010,
+    )
+    node = cfg.nodes[0x010]
+    assert node.effective_address() == 0x37F
+    assert node.text == "a3 7f"
+
+
+def test_basic_blocks_split_at_branch_targets():
+    cfg = _cfg(
+        """
+        .org 0x010
+        cla
+        bra_z 0x20
+        nop
+halt:   jmp halt
+        .org 0x020
+target: jmp target
+        """,
+        0x010,
+    )
+    blocks = {block[0]: block for block in cfg.basic_blocks()}
+    assert blocks[0x010] == (0x010, 0x011)  # cla + branch
+    assert 0x013 in blocks  # fall-through arm
+    assert 0x020 in blocks  # taken arm
+
+
+def test_unreachable_fragment_is_absent(address_program):
+    cfg = recover_cfg(
+        address_program.image, address_program.entry,
+        address_program.memory_size,
+    )
+    for test in address_program.applied:
+        assert cfg.is_reachable(test.entry), test.fault.name
+    assert cfg.halt_nodes

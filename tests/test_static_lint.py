@@ -1,0 +1,254 @@
+"""The static analyzer end to end (repro.static.analyzer / coverage)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.maf import FaultType, MAFault
+from repro.core.program_builder import AppliedTest, SelfTestProgram
+from repro.core.sessions import build_sessions
+from repro.cpu.control import OpClass
+from repro.isa.assembler import assemble
+from repro.soc.bus import BusDirection
+from repro.static import Code, Severity, analyze_program, crosscheck
+from repro.static.coverage import predict_coverage
+
+
+def _program(source: str, entry: int, applied=(), responses=()) -> SelfTestProgram:
+    return SelfTestProgram(
+        image=assemble(source).image,
+        entry=entry,
+        memory_size=4096,
+        applied=list(applied),
+        response_addresses=list(responses),
+    )
+
+
+def _copy(program: SelfTestProgram) -> SelfTestProgram:
+    return dataclasses.replace(program, image=dict(program.image))
+
+
+# -- the seed programs lint clean and agree with the dynamic validator ------
+
+
+@pytest.mark.parametrize(
+    "fixture", ["address_program", "data_program", "combined_program"]
+)
+def test_seed_programs_have_no_findings(fixture, request):
+    program = request.getfixturevalue(fixture)
+    report = analyze_program(program)
+    assert report.lint.diagnostics == [], report.lint.render()
+    assert report.run.exact and report.run.all_paths_halt
+    assert report.coverage.all_confirmed
+
+
+@pytest.mark.parametrize(
+    "fixture", ["address_program", "data_program", "combined_program"]
+)
+def test_crosscheck_agrees_on_seed_programs(fixture, request):
+    program = request.getfixturevalue(fixture)
+    result = crosscheck(program)
+    assert result.agreed, (result.static_only, result.dynamic_only)
+    assert result.address_diff == set() and result.data_diff == set()
+    assert {f.name for f in result.static.confirmed} == {
+        f.name for f in result.dynamic.confirmed
+    }
+
+
+def test_crosscheck_covers_both_data_directions(data_program):
+    result = crosscheck(data_program)
+    confirmed_directions = {f.direction for f in result.static.confirmed}
+    assert confirmed_directions == {
+        BusDirection.MEM_TO_CPU,
+        BusDirection.CPU_TO_MEM,
+    }
+    assert result.agreed
+
+
+def test_builder_lint_hook_and_sessions(builder):
+    plan = build_sessions(builder, data_faults=(), lint=True)
+    assert plan.programs
+    assert all(p.lint_report is not None for p in plan.programs)
+    assert plan.all_clean
+    builder.lint = False  # restore the shared fixture
+
+
+# -- corrupting a placed byte must surface a finding ------------------------
+
+
+def test_corrupted_jump_operand_is_caught(address_program):
+    program = _copy(address_program)
+    report = analyze_program(program)
+    jumps = [
+        node
+        for node in report.cfg.nodes.values()
+        if node.op_class is OpClass.JUMP
+        and not node.is_halt
+        and not node.indirect
+        and node.address in report.run.executed
+    ]
+    assert jumps
+    victim = jumps[0]
+    operand_at = (victim.address + 1) % program.memory_size
+    program.image[operand_at] ^= 0x80
+    findings = analyze_program(program).lint
+    assert findings.diagnostics, "corrupted jump target went unnoticed"
+    assert findings.errors
+
+
+def test_corrupted_opcode_byte_is_caught(address_program):
+    program = _copy(address_program)
+    # Turn the first applied fragment's LDA-class opcode into a STA: the
+    # store lands where the read went, clobbering placed bytes.
+    entry = program.applied[0].entry
+    report = analyze_program(program)
+    node = report.cfg.nodes[entry]
+    program.image[entry] = (program.image[entry] & 0x1F) | (0b101 << 5)
+    findings = analyze_program(program).lint
+    assert findings.diagnostics, (
+        f"corrupting {node.text} at {entry:#05x} went unnoticed"
+    )
+
+
+# -- each diagnostic code fires on a crafted program ------------------------
+
+
+def _fault(victim=0, width=12, fault_type=FaultType.POSITIVE_GLITCH,
+           direction=None):
+    return MAFault(victim=victim, fault_type=fault_type, width=width,
+                   direction=direction)
+
+
+def test_sbst001_unreachable_fragment():
+    program = _program(
+        """
+        .org 0x010
+halt:   jmp halt
+        .org 0x020
+        cla
+stuck:  jmp stuck
+        """,
+        0x010,
+        applied=[AppliedTest(_fault(), "pinned", 0x020, ())],
+    )
+    lint = analyze_program(program).lint
+    codes = {d.code for d in lint.errors}
+    assert Code.UNREACHABLE_FRAGMENT in codes
+
+
+def test_sbst002_store_clobbers_code():
+    program = _program(
+        """
+        .org 0x010
+        sta 0:0x40
+halt:   jmp halt
+        .org 0x040
+        .byte 0x55         ; a placed byte the store tramples
+        """,
+        0x010,
+    )
+    lint = analyze_program(program).lint
+    assert [d.code for d in lint.errors] == [Code.STORE_CLOBBERS_CODE]
+    # Declaring the cell a response region silences it.
+    program.response_addresses = [0x040]
+    relinted = analyze_program(program).lint
+    assert all(d.code is not Code.STORE_CLOBBERS_CODE for d in relinted.errors)
+
+
+def test_sbst003_response_hazards():
+    program = _program(
+        """
+        .org 0x010
+halt:   jmp halt
+        """,
+        0x010,
+        responses=[0x040, 0x040, 0x010],
+    )
+    lint = analyze_program(program).lint
+    findings = lint.by_code(Code.RESPONSE_HAZARD)
+    assert len(findings) == 2
+    assert {d.address for d in findings} == {0x040, 0x010}
+
+
+def test_sbst004_strict_decode_divergence():
+    # 0xE3 carries branch mask 0b0011 — the hardware takes it (Z|N), the
+    # strict ISA rejects it; executing it is an error-level finding.
+    program = _program(
+        """
+        .org 0x010
+        .byte 0xE3
+        .byte 0x20
+halt:   jmp halt
+        """,
+        0x010,
+    )
+    lint = analyze_program(program).lint
+    errors = [
+        d for d in lint.by_code(Code.SEMANTICS_CHANGED)
+        if d.severity is Severity.ERROR
+    ]
+    assert errors and errors[0].address == 0x010
+
+
+def test_sbst004_adopted_implied_byte_is_informational():
+    # 0xF3 is an undefined implied sub-opcode: a NOP on the hardware,
+    # which the builder exploits for value adoption — INFO, not an error.
+    program = _program(
+        """
+        .org 0x010
+        .byte 0xF3
+halt:   jmp halt
+        """,
+        0x010,
+    )
+    lint = analyze_program(program).lint
+    findings = lint.by_code(Code.SEMANTICS_CHANGED)
+    assert findings and findings[0].severity is Severity.INFO
+    assert lint.clean
+
+
+def test_sbst005_missing_ma_transition():
+    program = _program(
+        """
+        .org 0x010
+halt:   jmp halt
+        """,
+        0x010,
+        applied=[AppliedTest(_fault(victim=3), "pinned", 0x010, ())],
+    )
+    lint = analyze_program(program).lint
+    assert [d.code for d in lint.errors] == [Code.MA_TRANSITION]
+    assert lint.errors[0].subject == "gp/line4"
+
+
+def test_sbst006_non_termination():
+    program = _program(
+        """
+        .org 0x010
+        nop
+        jmp 0:0x010
+        """,
+        0x010,
+    )
+    lint = analyze_program(program).lint
+    codes = [d.code for d in lint.errors]
+    assert codes.count(Code.NON_TERMINATION) >= 1
+
+
+# -- static coverage mirrors the dynamic report -----------------------------
+
+
+def test_predict_coverage_counts(address_program):
+    coverage = predict_coverage(address_program)
+    assert coverage.exact
+    assert len(coverage.confirmed) == len(address_program.applied)
+    assert coverage.missing == []
+
+
+def test_check_cli_exit_codes(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--bus", "addr", "--crosscheck"]) == 0
+    out = capsys.readouterr().out
+    assert "MA transitions predicted" in out
+    assert "agrees" in out
