@@ -11,9 +11,9 @@ Three knobs DESIGN.md calls out, each isolated:
   the line-major default is compared against family-major sweeps.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.maf import FaultType
 from repro.core.program_builder import SelfTestProgramBuilder
@@ -113,7 +113,7 @@ def test_a1_ablations(benchmark):
             f"uniform geometry: {geometry[1][2]}",
         ),
     ]
-    emit("A1 — record", format_records(records))
+    emit_records("A1 — record", records)
     # Compaction strictly shrinks the program and its response footprint.
     assert compaction[0][1] < compaction[1][1]
     assert compaction[0][3] < compaction[1][3]

@@ -10,9 +10,9 @@ over a sample of defective capacitance sets and MA patterns:
   analogously calibrated ODE thresholds.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.maf import FaultType, MAFault, ma_vector_pair
 from repro.soc.bus import BusDirection
@@ -145,6 +145,6 @@ def test_e10_model_validation(benchmark, address_setup):
             f"{100 * (1 - min(delay_ratios)):.0f}% below",
         ),
     ]
-    emit("E10 — record", format_records(records))
+    emit_records("E10 — record", records)
     assert clear_rate >= 0.9
     assert 0.5 < min(delay_ratios) and max(delay_ratios) < 2.0

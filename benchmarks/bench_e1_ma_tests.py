@@ -5,9 +5,9 @@ demonstrator's buses and checks the fault-count arithmetic of Section 5
 (48 address-bus MAFs, 64 data-bus MAFs).
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.maf import (
     FaultType,
@@ -59,5 +59,5 @@ def test_e1_ma_tests(benchmark):
             str(len({(ma_vector_pair(f).v1, ma_vector_pair(f).v2) for f in address})),
         ),
     ]
-    emit("E1 — fault-count record", format_records(records))
+    emit_records("E1 — fault-count record", records)
     assert len(address) == 48 and len(data) == 64

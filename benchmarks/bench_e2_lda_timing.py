@@ -5,9 +5,9 @@ on: address bus Ai, Ai+1, Ax; data bus M[Ai], M[Ai+1], M[Ax]; the bus
 holds the last value while floating.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.isa.assembler import assemble
 from repro.soc.system import CpuMemorySystem
 from repro.soc.tracer import BusTracer, render_timing_diagram
@@ -53,6 +53,6 @@ def test_e2_lda_timing(benchmark):
             f"{data[2][0]:#04x} -> {data[2][1]:#04x}",
         ),
     ]
-    emit("E2 — record", format_records(records))
+    emit_records("E2 — record", records)
     assert (0x010, 0x011) in addr and (0x011, 0x37F) in addr
     assert (0x7F, 0xC3) in data  # offset byte then loaded data

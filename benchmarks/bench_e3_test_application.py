@@ -5,9 +5,9 @@ conflicts, total execution cycles (1720), program size proportional to
 bus width.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.sessions import build_sessions
 from repro.core.signature import capture_golden
@@ -74,7 +74,7 @@ def test_e3_test_application(benchmark, builder):
             f"/{len(address_program.applied) + len(data_program.applied)}",
         ),
     ]
-    emit("E3 — record", format_records(records))
+    emit_records("E3 — record", records)
     assert validated_addr.all_confirmed and validated_data.all_confirmed
     assert len(data_program.applied) == 64
     assert 1000 <= total_cycles <= 2600

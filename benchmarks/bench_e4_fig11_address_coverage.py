@@ -6,10 +6,10 @@ the 1000-defect library; side lines (1, 2, 11, 12) show zero individual
 coverage; the cumulative coverage reaches 100 %.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
 from repro.analysis.charts import coverage_chart
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.core.coverage import address_bus_line_coverage
 
 
@@ -44,7 +44,7 @@ def test_e4_fig11(benchmark, address_setup, builder, address_program):
                          f"{100 * report.full_program_coverage:.1f}%",
                          note="despite skipped tests (overlap)"),
     ]
-    emit("E4 — record", format_records(records))
+    emit_records("E4 — record", records)
     assert lines[1].individual == lines[12].individual == 0.0
     assert report.cumulative_coverage >= 0.99
     assert report.full_program_coverage >= 0.99

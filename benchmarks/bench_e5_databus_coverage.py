@@ -4,9 +4,9 @@ The paper applies all 64 data-bus MA tests (both driving directions,
 ADD-compacted responses) and reports 100 % defect coverage.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.coverage import DefectSimulator
 from repro.soc.bus import BusDirection
@@ -46,5 +46,5 @@ def test_e5_databus_coverage(benchmark, data_setup, builder, data_program):
         ExperimentRecord("E5", "timeouts among detected", "(not reported)",
                          str(sum(1 for o in outcomes if o.timed_out))),
     ]
-    emit("E5 — record", format_records(records))
+    emit_records("E5 — record", records)
     assert coverage == 1.0

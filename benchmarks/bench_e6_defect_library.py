@@ -7,10 +7,10 @@ shape: side wires (smaller nominal net coupling) essentially never
 become defective.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
 from repro.analysis.charts import bar_chart
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.xtalk.defects import generate_defect_library
 
 
@@ -42,6 +42,6 @@ def test_e6_defect_library(benchmark, address_setup, defect_count):
         ExperimentRecord("E6", "acceptance rate", "(not reported)",
                          f"{100 * library.acceptance_rate:.1f}%"),
     ]
-    emit("E6 — record", format_records(records))
+    emit_records("E6 — record", records)
     assert len(library) == defect_count
     assert sum(side) == 0

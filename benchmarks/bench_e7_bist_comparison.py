@@ -5,9 +5,9 @@ hardware self-test: area overhead (SBST: none), test time, coverage, and
 over-testing (BIST rejections with no functionally excitable error).
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.bist.area import DEMONSTRATOR_SYSTEM_GATES, estimate_bist_area
 from repro.bist.controller import BistController
@@ -113,6 +113,6 @@ def test_e7_bist_comparison(benchmark, address_setup, address_program):
             f"{over_workload.bist_detected} rejections unnecessary",
         ),
     ]
-    emit("E7 — record", format_records(records))
+    emit_records("E7 — record", records)
     assert bist_coverage == 1.0
     assert over_workload.over_test_rate > over_sbst.over_test_rate

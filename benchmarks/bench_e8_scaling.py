@@ -6,9 +6,9 @@ with it memory footprint, tester load time and at-speed application
 time.  We sweep the data-bus width and fit the growth.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.maf import enumerate_bus_faults
 from repro.core.program_builder import SelfTestProgramBuilder
@@ -57,7 +57,7 @@ def test_e8_scaling(benchmark):
             f"cycles/N in [{min(cycles_per_n):.1f}, {max(cycles_per_n):.1f}]",
         ),
     ]
-    emit("E8 — record", format_records(records))
+    emit_records("E8 — record", records)
     for row in rows:
         assert row[2] == row[1]  # every fault applied at every width
     assert max(bytes_per_n) < 2.2 * min(bytes_per_n)

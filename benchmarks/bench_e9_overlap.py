@@ -6,9 +6,9 @@ fraction cannot be detected by any other MA tests."  This is why the
 paper's program reaches 100 % coverage despite 7 missing tests.
 """
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.analysis.tables import format_table
 from repro.core.coverage import address_bus_line_coverage
 
@@ -58,5 +58,5 @@ def test_e9_overlap(benchmark, address_setup, builder):
             f">= {100 * (len(all_detected) - max(exclusive.values())) / total:.1f}%",
         ),
     ]
-    emit("E9 — record", format_records(records))
+    emit_records("E9 — record", records)
     assert exclusive_total < 0.25 * len(all_detected)

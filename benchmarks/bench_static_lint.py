@@ -8,9 +8,9 @@ identical conclusions — the cross-check that keeps the two models honest.
 
 import time
 
-from conftest import emit
+from conftest import emit, emit_records
 
-from repro.analysis.records import ExperimentRecord, format_records
+from repro.analysis.records import ExperimentRecord
 from repro.core.validate import validate_applied_tests
 from repro.static import analyze_program, crosscheck
 
@@ -53,7 +53,7 @@ def test_s1_static_lint(benchmark, builder):
             "static lint time is the benchmark statistic",
         ),
     ]
-    emit("S1 — static lint vs dynamic validation", format_records(records))
+    emit_records("S1 — static lint vs dynamic validation", records)
     emit("S1 — findings", report.lint.render())
 
     assert result.agreed

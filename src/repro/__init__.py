@@ -25,6 +25,7 @@ paper-versus-measured record of every reproduced table and figure.
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core import (
     AppliedTest,
     CoverageReport,
@@ -147,5 +148,6 @@ __all__ = [
     "extract_capacitance",
     "generate_defect_library",
     "ma_vector_pair",
+    "obs",
     "__version__",
 ]

@@ -9,6 +9,7 @@ Usage (installed as the ``repro-sbst`` entry point, or via
     repro-sbst simulate --bus addr --defects 500
     repro-sbst fig11 --defects 400         # the paper's Fig. 11
     repro-sbst timing                      # Fig. 5 timing diagram
+    repro-sbst profile examples --out run_report.json  # observed run
 """
 
 from __future__ import annotations
@@ -150,6 +151,108 @@ def cmd_timing(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run a workload under full observability and emit a RunReport."""
+    from repro import obs
+    from repro.core.sessions import build_sessions
+    from repro.soc.tracer import BusTracer
+    from repro.core.signature import make_system
+
+    width = 12 if args.bus == "addr" else 8
+    config = {
+        "target": args.target,
+        "bus": args.bus,
+        "defects": args.defects,
+        "seed": args.seed,
+        "detail": args.detail,
+    }
+    results: dict = {}
+    with obs.session(detail=args.detail) as obs_session:
+        with obs.span("setup"):
+            setup = default_bus_setup(
+                width, defect_count=args.defects, seed=args.seed
+            )
+        with obs.span("build"):
+            builder, program = _build_program(args.bus)
+        with obs.span("golden"):
+            golden = capture_golden(program)
+            validation = validate_applied_tests(program)
+        if args.trace:
+            with obs.span("trace"):
+                system = make_system(program)
+                tracer = BusTracer(
+                    [system.address_bus, system.data_bus],
+                    max_transactions=args.max_trace,
+                )
+                system.run(entry=program.entry, max_cycles=golden.max_cycles)
+                written = tracer.export_jsonl(args.trace)
+            results["trace"] = {
+                "path": args.trace,
+                "transactions": written,
+                "dropped": tracer.dropped,
+            }
+        with obs.span("campaign"):
+            if args.target == "fig11":
+                report = address_bus_line_coverage(
+                    setup.library, setup.params, setup.calibration,
+                    builder=builder, full_program=program,
+                )
+                results["coverage"] = {
+                    "cumulative": report.cumulative_coverage,
+                    "full_program": report.full_program_coverage,
+                    "lines": [
+                        {"line": line.line, "individual": line.individual,
+                         "cumulative": line.cumulative}
+                        for line in report.lines
+                    ],
+                }
+            elif args.target == "sessions":
+                plan = build_sessions(builder)
+                results["sessions"] = {
+                    "programs": plan.session_count,
+                    "applied": plan.applied_total,
+                    "unapplicable": len(plan.unapplicable),
+                }
+            else:  # "examples": the quickstart flow
+                simulator = DefectSimulator(
+                    program, setup.params, setup.calibration, bus=args.bus
+                )
+                outcomes = simulator.run_library(setup.library)
+                detected = sum(1 for o in outcomes if o.detected)
+                results["coverage"] = {
+                    "defects": len(outcomes),
+                    "detected": detected,
+                    "timeouts": sum(1 for o in outcomes if o.timed_out),
+                    "coverage": detected / len(outcomes) if outcomes else 0.0,
+                }
+        results["program"] = {
+            "applied": len(program.applied),
+            "skipped": len(program.skipped),
+            "size_bytes": program.program_size,
+            "golden_cycles": golden.cycles,
+            "validated": len(validation.confirmed),
+        }
+    run_report = obs.RunReport.from_observability(
+        obs_session,
+        kind="profile",
+        label=f"profile:{args.target}",
+        config=config,
+        include_spans=args.detail == "full",
+    )
+    run_report.results = results
+    errors = run_report.validation_errors()
+    if errors:
+        for error in errors:
+            print(f"schema violation: {error}", file=sys.stderr)
+        return 1
+    run_report.save(args.out)
+    print(run_report.summary())
+    print(f"\nrun report written to {args.out} "
+          f"({len(run_report.metrics)} metrics, "
+          f"{len(run_report.phases)} phases)")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sbst",
@@ -193,6 +296,32 @@ def make_parser() -> argparse.ArgumentParser:
 
     timing = sub.add_parser("timing", help="Fig. 5 load-instruction timing")
     timing.set_defaults(func=cmd_timing)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a workload under observability and emit a RunReport JSON",
+    )
+    profile.add_argument(
+        "target", nargs="?", choices=("examples", "fig11", "sessions"),
+        default="examples",
+        help="workload: the quickstart flow, the per-line Fig. 11 "
+        "campaign, or multi-session scheduling",
+    )
+    profile.add_argument("--bus", choices=("addr", "data"), default="addr")
+    profile.add_argument("--defects", type=int, default=200)
+    profile.add_argument("--seed", type=int, default=2001)
+    profile.add_argument("--detail", choices=("metrics", "full"),
+                         default="full",
+                         help="telemetry depth (full adds FSM occupancy "
+                         "and per-defect spans)")
+    profile.add_argument("--out", metavar="PATH", default="run_report.json",
+                         help="RunReport JSON output path")
+    profile.add_argument("--trace", metavar="PATH",
+                         help="also write a JSONL bus trace of the "
+                         "fault-free golden run")
+    profile.add_argument("--max-trace", type=int, default=4096,
+                         help="trace ring-buffer capacity (newest kept)")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

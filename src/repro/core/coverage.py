@@ -15,6 +15,8 @@ coverage per line.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -27,11 +29,18 @@ from repro.core.signature import (
     check_response,
     make_system,
 )
+from repro.obs import runtime as obs_runtime
 from repro.soc.bus import Bus
 from repro.xtalk.calibration import Calibration
 from repro.xtalk.defects import Defect, DefectLibrary
 from repro.xtalk.error_model import CrosstalkErrorModel
 from repro.xtalk.params import ElectricalParams
+
+logger = logging.getLogger("repro.core.coverage")
+
+#: Emit a campaign progress log line every this many simulated defects
+#: (DEBUG level; only when an observability session is active).
+PROGRESS_LOG_EVERY = 200
 
 
 @dataclass(frozen=True)
@@ -76,12 +85,13 @@ class DefectSimulator:
         self.calibration = calibration
         self.bus = bus
         self.golden: GoldenReference = capture_golden(program)
+        self._last_model: Optional[CrosstalkErrorModel] = None
 
     def _bus_of(self, system) -> Bus:
         return system.address_bus if self.bus == "addr" else system.data_bus
 
-    def simulate(self, defect: Defect) -> DetectionOutcome:
-        """Simulate one defect; return its detection outcome."""
+    def _replay(self, defect: Defect) -> DetectionOutcome:
+        """The uninstrumented core of one defect replay."""
         system = make_system(self.program)
         model = CrosstalkErrorModel(defect.caps, self.params, self.calibration)
         self._bus_of(system).install_corruption_hook(model.corrupt)
@@ -89,6 +99,7 @@ class DefectSimulator:
             entry=self.program.entry, max_cycles=self.golden.max_cycles
         )
         check: ResponseCheck = check_response(self.golden, system, result.halted)
+        self._last_model = model
         return DetectionOutcome(
             defect_index=defect.index,
             detected=check.detected,
@@ -96,9 +107,61 @@ class DefectSimulator:
             mismatches=check.mismatches,
         )
 
+    def simulate(self, defect: Defect) -> DetectionOutcome:
+        """Simulate one defect; return its detection outcome.
+
+        Under an active observability session this also times the replay
+        (``coverage.defect.replay`` timer), tallies detection counters
+        and rolls the error model's verdict statistics into the session
+        registry; with observability off it is the bare replay.
+        """
+        obs = obs_runtime.active()
+        if obs is None:
+            return self._replay(defect)
+        start = time.perf_counter_ns()
+        if obs.full_detail:
+            with obs.spans.span("defect", index=defect.index, bus=self.bus):
+                outcome = self._replay(defect)
+        else:
+            outcome = self._replay(defect)
+        registry = obs.registry
+        registry.timer("coverage.defect.replay").observe(
+            time.perf_counter_ns() - start
+        )
+        registry.counter("coverage.defects.simulated").inc()
+        if outcome.detected:
+            registry.counter("coverage.defects.detected").inc()
+        if outcome.timed_out:
+            registry.counter("coverage.defects.timeouts").inc()
+        for suffix, value in self._last_model.stats().items():
+            registry.counter(f"xtalk.model.{suffix}").inc(value)
+        return outcome
+
     def run_library(self, library: DefectLibrary) -> List[DetectionOutcome]:
-        """Simulate every defect in the library."""
-        return [self.simulate(defect) for defect in library]
+        """Simulate every defect in the library.
+
+        An active observability session gets a ``coverage.campaign``
+        span, a live ``coverage.campaign.progress`` gauge in [0, 1], and
+        a DEBUG progress log line every :data:`PROGRESS_LOG_EVERY`
+        defects.
+        """
+        obs = obs_runtime.active()
+        if obs is None:
+            return [self.simulate(defect) for defect in library]
+        total = len(library)
+        progress = obs.registry.gauge("coverage.campaign.progress")
+        outcomes: List[DetectionOutcome] = []
+        with obs.spans.span("coverage.campaign", bus=self.bus, defects=total):
+            for count, defect in enumerate(library, start=1):
+                outcomes.append(self.simulate(defect))
+                progress.set(count / total)
+                if count % PROGRESS_LOG_EVERY == 0 or count == total:
+                    detected = sum(1 for o in outcomes if o.detected)
+                    logger.debug(
+                        "campaign %s: %d/%d defects simulated, %d detected",
+                        self.bus, count, total, detected,
+                    )
+        return outcomes
 
     def detected_set(self, library: DefectLibrary) -> Set[int]:
         """Indices of the defects the program detects."""
@@ -176,24 +239,32 @@ def address_bus_line_coverage(
     lines: List[LineCoverage] = []
     union: Set[int] = set()
     total = len(library)
+    obs = obs_runtime.active()
     for victim in range(width):
         line_faults: Sequence[MAFault] = [
             fault for fault in all_faults if fault.victim == victim
         ]
-        program = builder.build_address_bus_program(line_faults)
-        simulator = DefectSimulator(program, params, calibration, bus="addr")
-        detected = simulator.detected_set(library)
+        with obs_runtime.span("coverage.line", line=victim + 1):
+            program = builder.build_address_bus_program(line_faults)
+            simulator = DefectSimulator(program, params, calibration,
+                                        bus="addr")
+            detected = simulator.detected_set(library)
         union |= detected
-        lines.append(
-            LineCoverage(
-                line=victim + 1,
-                tests_applied=len(program.applied),
-                tests_total=len(line_faults),
-                individual=len(detected) / total if total else 0.0,
-                cumulative=len(union) / total if total else 0.0,
-                detected=detected,
-            )
+        line = LineCoverage(
+            line=victim + 1,
+            tests_applied=len(program.applied),
+            tests_total=len(line_faults),
+            individual=len(detected) / total if total else 0.0,
+            cumulative=len(union) / total if total else 0.0,
+            detected=detected,
         )
+        lines.append(line)
+        if obs is not None:
+            # Per-MA-test detection stats (Fig. 11 series as live gauges).
+            prefix = f"coverage.line.{victim + 1:02d}"
+            obs.registry.gauge(f"{prefix}.individual").set(line.individual)
+            obs.registry.gauge(f"{prefix}.cumulative").set(line.cumulative)
+            obs.registry.counter("coverage.lines.evaluated").inc()
     full_coverage = None
     if full_program is not None:
         simulator = DefectSimulator(full_program, params, calibration, bus="addr")

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.maf import MAFault
 from repro.core.program_builder import SelfTestProgram, SelfTestProgramBuilder
+from repro.obs import runtime as obs_runtime
 from repro.soc.bus import BusDirection
 
 
@@ -78,7 +79,8 @@ def build_sessions(
     )
     plan = SessionPlan()
     while (remaining_address or remaining_data) and len(plan.programs) < max_sessions:
-        program = builder.build(remaining_address, remaining_data)
+        with obs_runtime.span("sessions.build", session=len(plan.programs)):
+            program = builder.build(remaining_address, remaining_data)
         if not program.applied:
             break  # nothing placeable even alone: the rest is unapplicable
         plan.programs.append(program)
@@ -90,4 +92,11 @@ def build_sessions(
         for fault in remaining_address + remaining_data
         if fault.direction is None or isinstance(fault.direction, BusDirection)
     ]
+    obs = obs_runtime.active()
+    if obs is not None:
+        obs.registry.counter("sessions.programs").inc(plan.session_count)
+        obs.registry.counter("sessions.tests.applied").inc(plan.applied_total)
+        obs.registry.counter("sessions.tests.unapplicable").inc(
+            len(plan.unapplicable)
+        )
     return plan

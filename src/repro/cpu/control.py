@@ -136,14 +136,44 @@ def state_after_operand_formed(op: DecodedOp) -> ControlState:
     return ControlState.EXECUTE_BRANCH
 
 
+#: Base cycle cost per instruction class (the table at the top of this
+#: module); indirect addressing adds :data:`INDIRECT_EXTRA_CYCLES` for
+#: the pointer fetch (PTA + PTD).
+CYCLES_BY_CLASS = {
+    OpClass.IMPLIED: 4,
+    OpClass.JUMP: 6,
+    OpClass.BRANCH: 6,
+    OpClass.MEMREF_READ: 8,
+    OpClass.MEMREF_WRITE: 7,
+    OpClass.JSR: 8,
+}
+
+INDIRECT_EXTRA_CYCLES = 2
+
+#: Coarse activity category of each FSM state, used by observability to
+#: report bounded-cardinality occupancy (``cpu.state_class.fetch`` ...)
+#: alongside the full per-state table in ``detail="full"`` mode.
+STATE_CATEGORIES = {
+    ControlState.FETCH1_ADDR: "fetch",
+    ControlState.FETCH1_DATA: "fetch",
+    ControlState.DECODE: "decode",
+    ControlState.FETCH2_ADDR: "fetch",
+    ControlState.FETCH2_DATA: "fetch",
+    ControlState.POINTER_ADDR: "memory",
+    ControlState.POINTER_DATA: "memory",
+    ControlState.OPERAND_ADDR: "memory",
+    ControlState.OPERAND_DATA: "memory",
+    ControlState.WRITE_ADDR: "memory",
+    ControlState.WRITE_DATA: "memory",
+    ControlState.EXECUTE_ALU: "execute",
+    ControlState.EXECUTE_JUMP: "execute",
+    ControlState.EXECUTE_BRANCH: "execute",
+    ControlState.EXECUTE_IMPLIED: "execute",
+    ControlState.HALTED: "halted",
+}
+
+
 def expected_cycles(op: DecodedOp) -> int:
     """Cycle cost of one instruction under this control unit."""
-    base = {
-        OpClass.IMPLIED: 4,
-        OpClass.JUMP: 6,
-        OpClass.BRANCH: 6,
-        OpClass.MEMREF_READ: 8,
-        OpClass.MEMREF_WRITE: 7,
-        OpClass.JSR: 8,
-    }[op.op_class]
-    return base + (2 if op.indirect else 0)
+    base = CYCLES_BY_CLASS[op.op_class]
+    return base + (INDIRECT_EXTRA_CYCLES if op.indirect else 0)

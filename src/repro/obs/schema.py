@@ -1,0 +1,103 @@
+"""Minimal JSON-Schema validation for RunReport documents.
+
+The container environment has no ``jsonschema`` package, so this module
+implements the (small, stable) subset of draft-07 that
+``src/repro/obs/schema.json`` uses: ``type`` (including type lists),
+``properties`` / ``required`` / ``additionalProperties``, ``items``,
+``enum`` and ``minimum``.  Unknown keywords are ignored, as the spec
+prescribes, so the checked-in schema stays a valid draft-07 document
+usable with full validators elsewhere (e.g. in downstream CI).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+SCHEMA_PATH = Path(__file__).with_name("schema.json")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def load_schema(path: Path = SCHEMA_PATH) -> Dict[str, Any]:
+    """The checked-in RunReport schema (or any other schema file)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def _check_type(instance: Any, expected, where: str, errors: List[str]) -> bool:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        check = _TYPE_CHECKS.get(name)
+        if check is not None and check(instance):
+            return True
+    errors.append(
+        f"{where}: expected type {'/'.join(names)}, "
+        f"got {type(instance).__name__}"
+    )
+    return False
+
+
+def _validate(instance: Any, schema: Dict[str, Any], where: str,
+              errors: List[str]) -> None:
+    if "type" in schema:
+        if not _check_type(instance, schema["type"], where, errors):
+            return  # further keyword checks would only cascade
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{where}: {instance!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            errors.append(
+                f"{where}: {instance} is below minimum {schema['minimum']}"
+            )
+    if isinstance(instance, dict):
+        properties = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in instance:
+                errors.append(f"{where}: missing required property {key!r}")
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            sub = properties.get(key)
+            if sub is not None:
+                _validate(value, sub, f"{where}.{key}", errors)
+            elif isinstance(additional, dict):
+                _validate(value, additional, f"{where}.{key}", errors)
+            elif additional is False:
+                errors.append(f"{where}: unexpected property {key!r}")
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, value in enumerate(instance):
+                _validate(value, items, f"{where}[{index}]", errors)
+
+
+def validate(instance: Any, schema: Dict[str, Any] = None) -> List[str]:
+    """All violations of ``schema`` (default: the RunReport schema).
+
+    Returns an empty list when the document is valid; each entry
+    otherwise is a human-readable ``path: problem`` string.
+    """
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _validate(instance, schema, "$", errors)
+    return errors
+
+
+def validate_or_raise(instance: Any, schema: Dict[str, Any] = None) -> None:
+    """Raise ``ValueError`` with all violations if ``instance`` is invalid."""
+    errors = validate(instance, schema)
+    if errors:
+        raise ValueError(
+            "RunReport does not match schema:\n  " + "\n  ".join(errors)
+        )

@@ -1,0 +1,50 @@
+"""Validate RunReport JSON files against the checked-in schema.
+
+CI uses this as a standalone gate after ``repro-sbst profile``::
+
+    python -m repro.obs.validate run_report.json [more.json ...]
+
+Exit code 0 iff every file validates; violations are printed one per
+line as ``file: path: problem``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.schema import load_schema, validate
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate REPORT.json [...]",
+              file=sys.stderr)
+        return 2
+    schema = load_schema()
+    failed = False
+    for name in argv:
+        try:
+            with open(name, "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{name}: unreadable ({exc})")
+            failed = True
+            continue
+        errors = validate(payload, schema)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{name}: {error}")
+        else:
+            metric_count = len(payload.get("metrics", {}))
+            phase_count = len(payload.get("phases", []))
+            print(f"{name}: valid ({phase_count} phases, "
+                  f"{metric_count} metrics)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class BusDirection(enum.Enum):
@@ -64,6 +64,32 @@ class BusTransaction:
 CorruptionHook = Callable[[int, int, BusDirection], int]
 
 
+@dataclass(frozen=True)
+class BusStats:
+    """Cumulative transaction statistics of one bus.
+
+    These are the bus's *native* counters: plain integer increments paid
+    on every transfer whether or not observability is enabled, so that
+    enabling telemetry does not change the per-transaction cost (the
+    observability layer merely snapshots them per run).
+    """
+
+    transactions: int
+    corrupted: int
+    by_kind: Dict[TransactionKind, int]
+
+    def delta(self, earlier: "BusStats") -> "BusStats":
+        """Stats accumulated since ``earlier`` was captured."""
+        return BusStats(
+            transactions=self.transactions - earlier.transactions,
+            corrupted=self.corrupted - earlier.corrupted,
+            by_kind={
+                kind: self.by_kind[kind] - earlier.by_kind.get(kind, 0)
+                for kind in self.by_kind
+            },
+        )
+
+
 class Bus:
     """An N-bit bus with hold-last-value semantics and a corruption hook.
 
@@ -89,6 +115,11 @@ class Bus:
         self._value = initial
         self._corruption_hook: Optional[CorruptionHook] = None
         self._observers: List[Callable[[BusTransaction], None]] = []
+        self._transaction_count = 0
+        self._corrupted_count = 0
+        self._kind_counts: Dict[TransactionKind, int] = {
+            kind: 0 for kind in TransactionKind
+        }
 
     @property
     def value(self) -> int:
@@ -102,6 +133,14 @@ class Bus:
     def add_observer(self, observer: Callable[[BusTransaction], None]) -> None:
         """Register a callback invoked with every completed transaction."""
         self._observers.append(observer)
+
+    def stats(self) -> BusStats:
+        """Snapshot of the native transaction counters (since creation)."""
+        return BusStats(
+            transactions=self._transaction_count,
+            corrupted=self._corrupted_count,
+            by_kind=dict(self._kind_counts),
+        )
 
     def reset(self, value: int = 0) -> None:
         """Reset the held word (the corruption hook and observers remain)."""
@@ -130,6 +169,10 @@ class Bus:
         if self._corruption_hook is not None:
             received = self._corruption_hook(previous, value, direction) & self._mask
         self._value = value
+        self._transaction_count += 1
+        self._kind_counts[kind] += 1
+        if received != value:
+            self._corrupted_count += 1
         transaction = BusTransaction(
             cycle=cycle,
             bus=self.name,

@@ -18,8 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
+from repro.cpu.control import STATE_CATEGORIES
 from repro.cpu.datapath import BusPort, Cpu
 from repro.isa.instructions import ADDR_BITS, DATA_BITS, MEMORY_SIZE
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import Observability
 from repro.soc.bus import Bus, BusDirection, TransactionKind
 from repro.soc.memory import Memory
 from repro.soc.mmio import MMIORegion
@@ -131,7 +134,16 @@ class CpuMemorySystem(BusPort):
         ``max_cycles`` bounds runaway programs — a crosstalk defect can send
         the CPU into an endless loop, which the defect simulator must treat
         as a (detected) abnormal outcome rather than hang.
+
+        When an observability session is active the run additionally
+        rolls its aggregate counters (cycles, instructions, per-bus
+        transaction stats; FSM-state occupancy in full detail) into the
+        session registry.  With observability off, this method is the
+        plain tight loop it always was.
         """
+        obs = obs_runtime.active()
+        if obs is not None:
+            return self._run_observed(obs, entry, max_cycles)
         self.reset(entry)
         while not self.cpu.halted and self.cycle < max_cycles:
             self.step()
@@ -140,6 +152,51 @@ class CpuMemorySystem(BusPort):
             cycles=self.cycle,
             instructions=self.cpu.instruction_count,
         )
+
+    def _run_observed(
+        self, obs: Observability, entry: int, max_cycles: int
+    ) -> RunResult:
+        """The instrumented twin of :meth:`run`."""
+        self.reset(entry)
+        cpu = self.cpu
+        before = [bus.stats() for bus in (self.address_bus, self.data_bus)]
+        if obs.full_detail:
+            occupancy: dict = {}
+            while not cpu.halted and self.cycle < max_cycles:
+                self.cycle += 1
+                cpu.tick_counted(occupancy)
+        else:
+            occupancy = {}
+            while not cpu.halted and self.cycle < max_cycles:
+                self.step()
+        result = RunResult(
+            halted=cpu.halted,
+            cycles=self.cycle,
+            instructions=cpu.instruction_count,
+        )
+        registry = obs.registry
+        registry.counter("cpu.runs").inc()
+        registry.counter("cpu.cycles").inc(result.cycles)
+        registry.counter("cpu.instructions").inc(result.instructions)
+        if result.timed_out:
+            registry.counter("cpu.timeouts").inc()
+        for bus, earlier in zip((self.address_bus, self.data_bus), before):
+            delta = bus.stats().delta(earlier)
+            registry.counter(f"bus.{bus.name}.transactions").inc(
+                delta.transactions
+            )
+            registry.counter(f"bus.{bus.name}.corrupted").inc(delta.corrupted)
+            for kind, count in delta.by_kind.items():
+                if count:
+                    registry.counter(
+                        f"bus.{bus.name}.kind.{kind.value}"
+                    ).inc(count)
+        for state, count in occupancy.items():
+            registry.counter(f"cpu.state.{state.value}").inc(count)
+            registry.counter(
+                f"cpu.state_class.{STATE_CATEGORIES[state]}"
+            ).inc(count)
+        return result
 
     def resume(self, max_cycles: int = 1_000_000) -> RunResult:
         """Continue clocking without a reset (for cycle-level inspection)."""

@@ -4,30 +4,78 @@ Attach a :class:`BusTracer` to a system's buses to capture the full
 transaction stream of a program run; :func:`render_timing_diagram` turns a
 window of that stream into an ASCII timing diagram equivalent to the
 paper's Fig. 5 (the load-instruction bus activity).
+
+For long campaigns (1000 defects replaying the full self-test program),
+an unbounded capture would grow without limit; pass ``max_transactions``
+to keep only the newest window in a ring buffer and count what was
+dropped instead of silently accumulating.  A captured stream can be
+exported as JSON Lines with :meth:`BusTracer.export_jsonl` and read back
+with :func:`load_jsonl` — the interchange format ``repro-sbst profile
+--trace`` emits.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Sequence, Union
 
-from repro.soc.bus import Bus, BusTransaction, TransactionKind
+from repro.obs import runtime as obs_runtime
+from repro.soc.bus import Bus, BusDirection, BusTransaction, TransactionKind
 
 
 class BusTracer:
-    """Records every transaction on the buses it is attached to."""
+    """Records transactions on the buses it is attached to.
 
-    def __init__(self, buses: Iterable[Bus] = ()):
-        self.transactions: List[BusTransaction] = []
+    Parameters
+    ----------
+    buses:
+        Buses to attach immediately (more can follow via :meth:`attach`).
+    max_transactions:
+        If given, keep only the newest ``max_transactions`` records
+        (ring buffer); :attr:`dropped` counts evicted ones, mirrored to
+        the ``bus.trace.dropped`` metric when observability is enabled.
+    """
+
+    def __init__(
+        self,
+        buses: Iterable[Bus] = (),
+        max_transactions: Optional[int] = None,
+    ):
+        if max_transactions is not None and max_transactions <= 0:
+            raise ValueError("max_transactions must be positive")
+        self.max_transactions = max_transactions
+        self.dropped = 0
+        if max_transactions is None:
+            self.transactions: Union[List[BusTransaction],
+                                     "deque[BusTransaction]"] = []
+        else:
+            self.transactions = deque(maxlen=max_transactions)
         for bus in buses:
             self.attach(bus)
 
     def attach(self, bus: Bus) -> None:
         """Start recording ``bus``'s transactions."""
-        bus.add_observer(self.transactions.append)
+        bus.add_observer(self._record)
+
+    def _record(self, transaction: BusTransaction) -> None:
+        limit = self.max_transactions
+        if limit is not None and len(self.transactions) == limit:
+            # deque(maxlen=...) evicts the oldest record on append.
+            self.dropped += 1
+            obs_runtime.registry().counter("bus.trace.dropped").inc()
+        self.transactions.append(transaction)
+
+    @property
+    def captured(self) -> int:
+        """Records currently held (excludes dropped ones)."""
+        return len(self.transactions)
 
     def clear(self) -> None:
-        """Drop all recorded transactions."""
+        """Drop all recorded transactions (and the dropped count)."""
         self.transactions.clear()
+        self.dropped = 0
 
     def on_bus(self, name: str) -> List[BusTransaction]:
         """All recorded transactions on the bus called ``name``."""
@@ -48,6 +96,74 @@ class BusTracer:
         model judges each ``previous -> driven`` transition.
         """
         return [(t.previous, t.driven) for t in self.on_bus(name)]
+
+    # -- interchange --------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, Path, IO[str]]) -> int:
+        """Write the captured stream as JSON Lines; returns record count."""
+        return dump_jsonl(self.transactions, target)
+
+
+def transaction_to_dict(transaction: BusTransaction) -> dict:
+    """JSON-ready representation of one transaction."""
+    return {
+        "cycle": transaction.cycle,
+        "bus": transaction.bus,
+        "kind": transaction.kind.value,
+        "direction": transaction.direction.value,
+        "previous": transaction.previous,
+        "driven": transaction.driven,
+        "received": transaction.received,
+    }
+
+
+def transaction_from_dict(payload: dict) -> BusTransaction:
+    """Inverse of :func:`transaction_to_dict`."""
+    return BusTransaction(
+        cycle=payload["cycle"],
+        bus=payload["bus"],
+        kind=TransactionKind(payload["kind"]),
+        direction=BusDirection(payload["direction"]),
+        previous=payload["previous"],
+        driven=payload["driven"],
+        received=payload["received"],
+    )
+
+
+def dump_jsonl(
+    transactions: Iterable[BusTransaction],
+    target: Union[str, Path, IO[str]],
+) -> int:
+    """Write transactions to ``target`` (path or stream), one per line."""
+    if hasattr(target, "write"):
+        stream = target
+        close = False
+    else:
+        stream = open(target, "w", encoding="utf-8")
+        close = True
+    count = 0
+    try:
+        for transaction in transactions:
+            stream.write(json.dumps(transaction_to_dict(transaction)))
+            stream.write("\n")
+            count += 1
+    finally:
+        if close:
+            stream.close()
+    return count
+
+
+def load_jsonl(source: Union[str, Path, IO[str]]) -> List[BusTransaction]:
+    """Read a JSONL trace back into transaction records."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    return [
+        transaction_from_dict(json.loads(line))
+        for line in lines
+        if line.strip()
+    ]
 
 
 def render_timing_diagram(

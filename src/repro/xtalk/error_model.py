@@ -66,6 +66,14 @@ class CrosstalkErrorModel:
         self.params = params
         self.calibration = calibration
         self.width = caps.wire_count
+        # Native tallies (plain int increments, always on): how often the
+        # model ran and what it decided.  The observability layer snapshots
+        # these per defect replay (see repro.core.coverage), so enabling
+        # telemetry adds no per-transition work here.
+        self.invocations = 0
+        self.corruptions = 0
+        self.glitch_errors = 0
+        self.delay_errors = 0
         # Neighbour lists: (other wire index, other wire bit mask, coupling).
         self._neighbours: List[Tuple[Tuple[int, int, float], ...]] = [
             tuple((j, 1 << j, cc) for j, cc in caps.neighbours(i))
@@ -106,6 +114,7 @@ class CrosstalkErrorModel:
 
         Matches the :class:`~repro.soc.bus.Bus` corruption-hook signature.
         """
+        self.invocations += 1
         if previous == driven:
             return driven
         changed = previous ^ driven
@@ -129,6 +138,7 @@ class CrosstalkErrorModel:
                 if load > delay_slack[i]:
                     # Receiver samples the old (pre-transition) value.
                     received = (received & ~bit) | (previous & bit)
+                    self.delay_errors += 1
             else:
                 # Stable victim: signed injected coupling.
                 injected = 0.0
@@ -141,10 +151,23 @@ class CrosstalkErrorModel:
                 if driven & bit:
                     if -injected > glitch_threshold[i]:
                         received &= ~bit  # negative glitch on stable 1
+                        self.glitch_errors += 1
                 else:
                     if injected > glitch_threshold[i]:
                         received |= bit  # positive glitch on stable 0
+                        self.glitch_errors += 1
+        if received != driven:
+            self.corruptions += 1
         return received
+
+    def stats(self) -> Dict[str, int]:
+        """The native tallies, keyed by metric suffix."""
+        return {
+            "invocations": self.invocations,
+            "corruptions": self.corruptions,
+            "glitch_errors": self.glitch_errors,
+            "delay_errors": self.delay_errors,
+        }
 
     # -- diagnostics ----------------------------------------------------------
 

@@ -49,3 +49,52 @@ def test_build_hex_export(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         make_parser().parse_args([])
+
+
+def test_profile_examples_emits_valid_run_report(tmp_path, capsys):
+    from repro.obs import RunReport
+
+    out = tmp_path / "run_report.json"
+    assert main([
+        "profile", "examples", "--defects", "25", "--out", str(out),
+    ]) == 0
+    report = RunReport.load(out)  # validates on load
+    assert report.kind == "profile"
+    assert report.config["defects"] == 25
+    assert {p["name"] for p in report.phases} >= {
+        "setup", "build", "golden", "campaign",
+    }
+    assert len(report.metrics) >= 10
+    assert report.metrics["coverage.defects.simulated"]["value"] == 25
+    assert report.results["coverage"]["defects"] == 25
+    assert report.spans  # default detail=full keeps the span tree
+    assert "run report written" in capsys.readouterr().out
+
+
+def test_profile_metrics_detail_omits_spans(tmp_path, capsys):
+    from repro.obs import RunReport
+
+    out = tmp_path / "run_report.json"
+    assert main([
+        "profile", "examples", "--defects", "10", "--bus", "data",
+        "--detail", "metrics", "--out", str(out),
+    ]) == 0
+    report = RunReport.load(out)
+    assert report.spans == []
+    assert report.metrics["bus.data.corrupted"]["value"] > 0
+
+
+def test_profile_trace_export(tmp_path, capsys):
+    from repro.obs import RunReport
+    from repro.soc.tracer import load_jsonl
+
+    out = tmp_path / "run_report.json"
+    trace = tmp_path / "trace.jsonl"
+    assert main([
+        "profile", "examples", "--defects", "5", "--out", str(out),
+        "--trace", str(trace), "--max-trace", "64",
+    ]) == 0
+    report = RunReport.load(out)
+    assert report.results["trace"]["transactions"] == 64
+    assert report.results["trace"]["dropped"] > 0
+    assert len(load_jsonl(trace)) == 64

@@ -1,9 +1,20 @@
 """Unit tests for tracing and timing-diagram rendering."""
 
+import io
+
+import pytest
+
 from repro.isa.assembler import assemble
+from repro.obs import runtime as obs_runtime
 from repro.soc.bus import TransactionKind
 from repro.soc.system import CpuMemorySystem
-from repro.soc.tracer import BusTracer, render_timing_diagram
+from repro.soc.tracer import (
+    BusTracer,
+    load_jsonl,
+    render_timing_diagram,
+    transaction_from_dict,
+    transaction_to_dict,
+)
 
 
 def traced_run(source, entry=0x10):
@@ -60,6 +71,72 @@ halt:   jmp halt
 
 def test_timing_diagram_empty():
     assert "no bus activity" in render_timing_diagram([])
+
+
+def test_ring_buffer_keeps_newest_and_counts_dropped():
+    system = CpuMemorySystem()
+    program = assemble(".org 0x10\nlda 0:0x80\nhalt: jmp halt")
+    system.load_image(program.image)
+    reference = BusTracer([system.address_bus, system.data_bus])
+    bounded = BusTracer([system.address_bus, system.data_bus],
+                        max_transactions=5)
+    system.run(entry=0x10, max_cycles=40)
+    total = len(reference.transactions)
+    assert total > 5
+    assert bounded.captured == 5
+    assert bounded.dropped == total - 5
+    # The ring holds exactly the newest window of the full stream.
+    assert list(bounded.transactions) == reference.transactions[-5:]
+    bounded.clear()
+    assert bounded.captured == 0 and bounded.dropped == 0
+
+
+def test_ring_buffer_rejects_nonpositive_limit():
+    with pytest.raises(ValueError):
+        BusTracer(max_transactions=0)
+
+
+def test_ring_buffer_drops_feed_the_dropped_metric():
+    system = CpuMemorySystem()
+    program = assemble(".org 0x10\nlda 0:0x80\nhalt: jmp halt")
+    system.load_image(program.image)
+    tracer = BusTracer([system.address_bus, system.data_bus],
+                       max_transactions=3)
+    with obs_runtime.session() as session:
+        system.run(entry=0x10, max_cycles=40)
+    counted = session.registry.snapshot()["bus.trace.dropped"]["value"]
+    assert counted == tracer.dropped > 0
+
+
+def test_jsonl_round_trip():
+    system, tracer = traced_run(
+        """
+        .org 0x10
+        lda 0:0x80
+        sta 0:0x81
+halt:   jmp halt
+        """
+    )
+    stream = io.StringIO()
+    written = tracer.export_jsonl(stream)
+    assert written == len(tracer.transactions)
+    restored = load_jsonl(io.StringIO(stream.getvalue()))
+    assert restored == tracer.transactions
+
+
+def test_jsonl_round_trip_via_file(tmp_path):
+    system, tracer = traced_run(".org 0x10\nlda 0:0x80\nhalt: jmp halt")
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(path)
+    assert load_jsonl(path) == tracer.transactions
+
+
+def test_transaction_dict_preserves_enums():
+    system, tracer = traced_run(".org 0x10\nlda 0:0x80\nhalt: jmp halt")
+    original = tracer.transactions[0]
+    restored = transaction_from_dict(transaction_to_dict(original))
+    assert restored == original
+    assert isinstance(restored.kind, TransactionKind)
 
 
 def test_timing_diagram_marks_corruption():
