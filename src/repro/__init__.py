@@ -30,8 +30,10 @@ from repro.core import (
     AppliedTest,
     CoverageReport,
     DefectSimulator,
+    ExactEngine,
     FaultType,
     MAFault,
+    ScreenedEngine,
     SelfTestProgram,
     SelfTestProgramBuilder,
     SkippedTest,
@@ -40,6 +42,7 @@ from repro.core import (
     build_sessions,
     enumerate_bus_faults,
     ma_vector_pair,
+    session_coverage,
 )
 from repro.soc import BusDirection, CpuMemorySystem
 from repro.static import (
@@ -128,9 +131,11 @@ __all__ = [
     "DefectLibrary",
     "DefectSimulator",
     "ElectricalParams",
+    "ExactEngine",
     "FaultType",
     "LintReport",
     "MAFault",
+    "ScreenedEngine",
     "SelfTestProgram",
     "SelfTestProgramBuilder",
     "SkippedTest",
@@ -149,5 +154,6 @@ __all__ = [
     "generate_defect_library",
     "ma_vector_pair",
     "obs",
+    "session_coverage",
     "__version__",
 ]

@@ -102,12 +102,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     setup = default_bus_setup(width, defect_count=args.defects, seed=args.seed)
     _, program = _build_program(args.bus)
     simulator = DefectSimulator(
-        program, setup.params, setup.calibration, bus=args.bus
+        program, setup.params, setup.calibration, bus=args.bus,
+        engine=args.engine,
     )
     outcomes = simulator.run_library(setup.library)
     detected = sum(1 for o in outcomes if o.detected)
     timeouts = sum(1 for o in outcomes if o.timed_out)
     rows = [
+        ("engine", args.engine),
         ("defects simulated", str(len(outcomes))),
         ("detected", f"{detected} ({100 * detected / len(outcomes):.1f}%)"),
         ("of which hung the CPU", str(timeouts)),
@@ -122,7 +124,7 @@ def cmd_fig11(args: argparse.Namespace) -> int:
     builder, program = _build_program("addr")
     report = address_bus_line_coverage(
         setup.library, setup.params, setup.calibration,
-        builder=builder, full_program=program,
+        builder=builder, full_program=program, engine=args.engine,
     )
     print(coverage_chart(
         [(line.line, line.individual, line.cumulative)
@@ -165,6 +167,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         "defects": args.defects,
         "seed": args.seed,
         "detail": args.detail,
+        "engine": args.engine,
     }
     results: dict = {}
     with obs.session(detail=args.detail) as obs_session:
@@ -196,6 +199,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 report = address_bus_line_coverage(
                     setup.library, setup.params, setup.calibration,
                     builder=builder, full_program=program,
+                    engine=args.engine,
                 )
                 results["coverage"] = {
                     "cumulative": report.cumulative_coverage,
@@ -215,7 +219,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 }
             else:  # "examples": the quickstart flow
                 simulator = DefectSimulator(
-                    program, setup.params, setup.calibration, bus=args.bus
+                    program, setup.params, setup.calibration, bus=args.bus,
+                    engine=args.engine,
                 )
                 outcomes = simulator.run_library(setup.library)
                 detected = sum(1 for o in outcomes if o.detected)
@@ -283,15 +288,26 @@ def make_parser() -> argparse.ArgumentParser:
                        "traced fault-free run")
     check.set_defaults(func=cmd_check)
 
+    engine_help = (
+        "defect-simulation engine: 'exact' replays every defect in full, "
+        "'screened' screens the library against the golden bus trace and "
+        "replays only divergent defects from a checkpoint (identical "
+        "outcomes, much faster on lightly-corrupting campaigns)"
+    )
+
     simulate = sub.add_parser("simulate", help="run a defect campaign")
     simulate.add_argument("--bus", choices=("addr", "data"), default="addr")
     simulate.add_argument("--defects", type=int, default=300)
     simulate.add_argument("--seed", type=int, default=2001)
+    simulate.add_argument("--engine", choices=("exact", "screened"),
+                          default="exact", help=engine_help)
     simulate.set_defaults(func=cmd_simulate)
 
     fig11 = sub.add_parser("fig11", help="reproduce the paper's Fig. 11")
     fig11.add_argument("--defects", type=int, default=300)
     fig11.add_argument("--seed", type=int, default=2001)
+    fig11.add_argument("--engine", choices=("exact", "screened"),
+                       default="exact", help=engine_help)
     fig11.set_defaults(func=cmd_fig11)
 
     timing = sub.add_parser("timing", help="Fig. 5 load-instruction timing")
@@ -310,6 +326,8 @@ def make_parser() -> argparse.ArgumentParser:
     profile.add_argument("--bus", choices=("addr", "data"), default="addr")
     profile.add_argument("--defects", type=int, default=200)
     profile.add_argument("--seed", type=int, default=2001)
+    profile.add_argument("--engine", choices=("exact", "screened"),
+                         default="exact", help=engine_help)
     profile.add_argument("--detail", choices=("metrics", "full"),
                          default="full",
                          help="telemetry depth (full adds FSM occupancy "

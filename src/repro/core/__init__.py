@@ -33,8 +33,16 @@ from repro.core.program_builder import (
     SelfTestProgramBuilder,
     SkippedTest,
 )
-from repro.core.sessions import build_sessions
+from repro.core.sessions import build_sessions, session_coverage
 from repro.core.signature import GoldenReference, capture_golden, check_response
+from repro.core.engine import (
+    ENGINES,
+    ExactEngine,
+    ScreenedEngine,
+    SimulationEngine,
+    capture_golden_with_trace,
+    make_engine,
+)
 from repro.core.coverage import (
     CoverageReport,
     DefectSimulator,
@@ -58,9 +66,16 @@ __all__ = [
     "SelfTestProgramBuilder",
     "SkippedTest",
     "build_sessions",
+    "session_coverage",
     "GoldenReference",
     "capture_golden",
     "check_response",
+    "ENGINES",
+    "ExactEngine",
+    "ScreenedEngine",
+    "SimulationEngine",
+    "capture_golden_with_trace",
+    "make_engine",
     "CoverageReport",
     "DefectSimulator",
     "DetectionOutcome",

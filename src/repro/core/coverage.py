@@ -20,17 +20,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.core.engine import ENGINES, SimulationEngine, make_engine
 from repro.core.maf import MAFault, enumerate_bus_faults
 from repro.core.program_builder import SelfTestProgram, SelfTestProgramBuilder
-from repro.core.signature import (
-    GoldenReference,
-    ResponseCheck,
-    capture_golden,
-    check_response,
-    make_system,
-)
+from repro.core.signature import GoldenReference, ResponseCheck
 from repro.obs import runtime as obs_runtime
-from repro.soc.bus import Bus
 from repro.xtalk.calibration import Calibration
 from repro.xtalk.defects import Defect, DefectLibrary
 from repro.xtalk.error_model import CrosstalkErrorModel
@@ -69,6 +63,14 @@ class DefectSimulator:
         ``"addr"`` or ``"data"`` — which bus the defects live on (the
         paper injects defects per bus: "we only consider crosstalk within
         the same bus").
+    engine:
+        ``"exact"`` (default) replays every defect in full;
+        ``"screened"`` screens the library against the golden bus trace
+        and replays only defects that provably diverge, fast-forwarded
+        from the last clean checkpoint (see :mod:`repro.core.engine`).
+        Both produce identical :class:`DetectionOutcome` values.
+    checkpoint_interval / screen_backend:
+        Tuning knobs of the screened engine (ignored by ``"exact"``).
     """
 
     def __init__(
@@ -77,29 +79,34 @@ class DefectSimulator:
         params: ElectricalParams,
         calibration: Calibration,
         bus: str = "addr",
+        engine: str = "exact",
+        checkpoint_interval: Optional[int] = None,
+        screen_backend: str = "auto",
     ):
         if bus not in ("addr", "data"):
             raise ValueError("bus must be 'addr' or 'data'")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
         self.program = program
         self.params = params
         self.calibration = calibration
         self.bus = bus
-        self.golden: GoldenReference = capture_golden(program)
+        self.engine: SimulationEngine = make_engine(
+            engine,
+            program,
+            params,
+            calibration,
+            bus,
+            checkpoint_interval=checkpoint_interval,
+            screen_backend=screen_backend,
+        )
+        self.golden: GoldenReference = self.engine.golden
         self._last_model: Optional[CrosstalkErrorModel] = None
 
-    def _bus_of(self, system) -> Bus:
-        return system.address_bus if self.bus == "addr" else system.data_bus
-
     def _replay(self, defect: Defect) -> DetectionOutcome:
-        """The uninstrumented core of one defect replay."""
-        system = make_system(self.program)
-        model = CrosstalkErrorModel(defect.caps, self.params, self.calibration)
-        self._bus_of(system).install_corruption_hook(model.corrupt)
-        result = system.run(
-            entry=self.program.entry, max_cycles=self.golden.max_cycles
-        )
-        check: ResponseCheck = check_response(self.golden, system, result.halted)
-        self._last_model = model
+        """The uninstrumented core of one defect judgment."""
+        check: ResponseCheck = self.engine.check(defect)
+        self._last_model = self.engine.last_model
         return DetectionOutcome(
             defect_index=defect.index,
             detected=check.detected,
@@ -113,7 +120,9 @@ class DefectSimulator:
         Under an active observability session this also times the replay
         (``coverage.defect.replay`` timer), tallies detection counters
         and rolls the error model's verdict statistics into the session
-        registry; with observability off it is the bare replay.
+        registry; with observability off it is the bare replay.  (A
+        screened engine may judge a defect without running a model — its
+        screening decisions appear under ``coverage.engine.*`` instead.)
         """
         obs = obs_runtime.active()
         if obs is None:
@@ -133,30 +142,37 @@ class DefectSimulator:
             registry.counter("coverage.defects.detected").inc()
         if outcome.timed_out:
             registry.counter("coverage.defects.timeouts").inc()
-        for suffix, value in self._last_model.stats().items():
-            registry.counter(f"xtalk.model.{suffix}").inc(value)
+        if self._last_model is not None:
+            for suffix, value in self._last_model.stats().items():
+                registry.counter(f"xtalk.model.{suffix}").inc(value)
         return outcome
 
     def run_library(self, library: DefectLibrary) -> List[DetectionOutcome]:
         """Simulate every defect in the library.
 
-        An active observability session gets a ``coverage.campaign``
-        span, a live ``coverage.campaign.progress`` gauge in [0, 1], and
-        a DEBUG progress log line every :data:`PROGRESS_LOG_EVERY`
-        defects.
+        Batch-capable engines get one :meth:`SimulationEngine.prepare`
+        call first (the screened engine vectorizes its whole screening
+        pass there).  An active observability session gets a
+        ``coverage.campaign`` span, a live ``coverage.campaign.progress``
+        gauge in [0, 1], and a DEBUG progress log line every
+        :data:`PROGRESS_LOG_EVERY` defects.
         """
+        self.engine.prepare(library)
         obs = obs_runtime.active()
         if obs is None:
             return [self.simulate(defect) for defect in library]
         total = len(library)
         progress = obs.registry.gauge("coverage.campaign.progress")
         outcomes: List[DetectionOutcome] = []
+        detected = 0
         with obs.spans.span("coverage.campaign", bus=self.bus, defects=total):
             for count, defect in enumerate(library, start=1):
-                outcomes.append(self.simulate(defect))
+                outcome = self.simulate(defect)
+                outcomes.append(outcome)
+                if outcome.detected:
+                    detected += 1
                 progress.set(count / total)
                 if count % PROGRESS_LOG_EVERY == 0 or count == total:
-                    detected = sum(1 for o in outcomes if o.detected)
                     logger.debug(
                         "campaign %s: %d/%d defects simulated, %d detected",
                         self.bus, count, total, detected,
@@ -222,6 +238,8 @@ def address_bus_line_coverage(
     calibration: Calibration,
     builder: Optional[SelfTestProgramBuilder] = None,
     full_program: Optional[SelfTestProgram] = None,
+    engine: str = "exact",
+    screen_backend: str = "auto",
 ) -> CoverageReport:
     """Reproduce Fig. 11: per-interconnect and cumulative coverage.
 
@@ -230,7 +248,9 @@ def address_bus_line_coverage(
     against the whole library.  The cumulative series is the union of the
     detected sets in line order.  If ``full_program`` is given, its
     overall coverage is evaluated too (the paper's single-test-program
-    coverage, 100 % in their experiment).
+    coverage, 100 % in their experiment).  ``engine`` selects the
+    defect-simulation engine per program (see :class:`DefectSimulator`);
+    the report is engine-independent.
     """
     builder = builder or SelfTestProgramBuilder()
     width = builder.addr_width
@@ -247,7 +267,8 @@ def address_bus_line_coverage(
         with obs_runtime.span("coverage.line", line=victim + 1):
             program = builder.build_address_bus_program(line_faults)
             simulator = DefectSimulator(program, params, calibration,
-                                        bus="addr")
+                                        bus="addr", engine=engine,
+                                        screen_backend=screen_backend)
             detected = simulator.detected_set(library)
         union |= detected
         line = LineCoverage(
@@ -267,7 +288,9 @@ def address_bus_line_coverage(
             obs.registry.counter("coverage.lines.evaluated").inc()
     full_coverage = None
     if full_program is not None:
-        simulator = DefectSimulator(full_program, params, calibration, bus="addr")
+        simulator = DefectSimulator(full_program, params, calibration,
+                                    bus="addr", engine=engine,
+                                    screen_backend=screen_backend)
         full_coverage = simulator.coverage(library)
     return CoverageReport(
         lines=lines,

@@ -1,0 +1,482 @@
+"""Two-tier defect-simulation engines: exact replay and screen-then-replay.
+
+The defect simulator's contract is per-defect :class:`DetectionOutcome`
+values; *how* a defect is judged is an engine concern:
+
+:class:`ExactEngine`
+    One full cycle-accurate replay per defect with the crosstalk error
+    model installed on the bus under test — the original behavior of
+    :class:`~repro.core.coverage.DefectSimulator`.
+
+:class:`ScreenedEngine`
+    Exploits the screening invariant (see :mod:`repro.xtalk.screen`):
+    the system is deterministic and the error model is a pure function
+    of each bus transition, so a defective run is cycle-identical to the
+    golden run up to its first corrupted transaction.  The engine
+
+    1. captures the golden run **once** with the full transaction trace
+       of the bus under test and periodic :class:`SystemSnapshot`
+       checkpoints,
+    2. screens the whole library against that trace in one (optionally
+       vectorized) pass,
+    3. skips simulation entirely for defects whose trace is clean
+       (provably undetected — outcome identical to fault-free),
+    4. *dedups* the rest by replay behavior: every real replay records
+       the ``transition -> received`` decisions its run actually used;
+       a later defect whose kernel agrees with a recorded run on every
+       one of those transitions provably reproduces that run cycle for
+       cycle, so its outcome is reused without simulating (random
+       capacitance perturbations cluster heavily — thousands of
+       corrupting defects typically collapse to a few dozen behaviors),
+    5. and replays the genuinely new behaviors from the last golden
+       checkpoint before their first corrupted transaction — the replay
+       only pays for the suffix.
+
+    The outcomes are bit-identical to :class:`ExactEngine` by
+    construction: clean defects cannot diverge, a deduped defect's run
+    is forced through the same decisions as the recorded run it matched
+    (the bus hook is the *only* path a defect influences the system
+    through), and a resumed replay re-executes every cycle from a state
+    the defective run provably shares.
+
+Engines do not do their own per-defect observability — the simulator
+remains the instrumented facade — but the screened engine counts its
+triage decisions (``coverage.engine.screened_clean`` /
+``coverage.engine.replay_deduped`` / ``coverage.engine.replayed`` /
+``coverage.engine.checkpoint_resumed``) through the null-safe registry
+so campaign reports can show how much work screening saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.program_builder import SelfTestProgram
+from repro.core.signature import (
+    GoldenReference,
+    ResponseCheck,
+    build_base_image,
+    check_response,
+    make_system,
+)
+from repro.obs import runtime as obs_runtime
+from repro.soc.bus import Bus, BusDirection, BusTransaction
+from repro.soc.system import CpuMemorySystem, SystemSnapshot
+from repro.xtalk.calibration import Calibration
+from repro.xtalk.defects import Defect
+from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.kernel import TransitionKernel
+from repro.xtalk.params import ElectricalParams
+from repro.xtalk.screen import DecisionEvaluator, ScreenVerdict, TraceScreen
+
+ENGINES = ("exact", "screened")
+
+#: Bounds on the automatic checkpoint spacing (cycles).  The golden runs
+#: of per-line programs are well under 100 cycles, so the lower clamp
+#: keeps even those resumable near their first corruption; the upper
+#: clamp bounds snapshot memory for long programs.
+MIN_CHECKPOINT_INTERVAL = 4
+MAX_CHECKPOINT_INTERVAL = 256
+CHECKPOINT_DENSITY = 64  # target ~this many checkpoints per golden run
+
+
+def _bus_of(system: CpuMemorySystem, bus: str) -> Bus:
+    return system.address_bus if bus == "addr" else system.data_bus
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A golden-run :class:`SystemSnapshot` tagged with its cycle."""
+
+    cycle: int
+    snapshot: SystemSnapshot
+
+
+@dataclass(frozen=True)
+class GoldenCapture:
+    """One golden run's reference, bus trace, and checkpoint series."""
+
+    golden: GoldenReference
+    trace: List[BusTransaction]
+    checkpoints: List[Checkpoint]
+
+
+def auto_checkpoint_interval(golden_cycles: int) -> int:
+    """Checkpoint spacing targeting ~:data:`CHECKPOINT_DENSITY` snapshots."""
+    return max(
+        MIN_CHECKPOINT_INTERVAL,
+        min(MAX_CHECKPOINT_INTERVAL, golden_cycles // CHECKPOINT_DENSITY),
+    )
+
+
+def capture_golden_with_trace(
+    program: SelfTestProgram,
+    bus: str,
+    interval: Optional[int] = None,
+    base_image: Optional[bytes] = None,
+) -> GoldenCapture:
+    """Run ``program`` fault-free, recording trace and checkpoints.
+
+    The run is step-for-step the one :meth:`CpuMemorySystem.run`
+    performs (reset to the program entry, clock until halt), so the
+    captured trace and checkpoints are exactly what every defective
+    replay reproduces up to its first corruption.
+
+    ``interval`` is the checkpoint spacing in cycles;
+    ``None`` derives it from the golden cycle count via
+    :func:`auto_checkpoint_interval` (which costs one extra fault-free
+    run — negligible against a library-sized campaign).
+    """
+    if interval is None:
+        probe = make_system(program, base_image)
+        result = probe.run(entry=program.entry, max_cycles=10_000_000)
+        if not result.halted:
+            raise RuntimeError("golden run did not reach the halt convention")
+        interval = auto_checkpoint_interval(result.cycles)
+    if interval <= 0:
+        raise ValueError("checkpoint interval must be positive")
+
+    system = make_system(program, base_image)
+    trace: List[BusTransaction] = []
+    _bus_of(system, bus).add_observer(trace.append)
+    system.reset(program.entry)
+    checkpoints = [Checkpoint(cycle=0, snapshot=system.snapshot())]
+    while not system.cpu.halted and system.cycle < 10_000_000:
+        system.step()
+        if system.cycle % interval == 0 and not system.cpu.halted:
+            checkpoints.append(
+                Checkpoint(cycle=system.cycle, snapshot=system.snapshot())
+            )
+    if not system.cpu.halted:
+        raise RuntimeError("golden run did not reach the halt convention")
+    golden = GoldenReference(
+        snapshot=system.memory.snapshot(),
+        cycles=system.cycle,
+        instructions=system.cpu.instruction_count,
+    )
+    return GoldenCapture(golden=golden, trace=trace, checkpoints=checkpoints)
+
+
+class SimulationEngine:
+    """Judges one defect at a time against one self-test program.
+
+    Contract shared by every engine:
+
+    * :attr:`golden` is the fault-free reference of the program.
+    * :meth:`check` returns the :class:`ResponseCheck` the paper's
+      external tester would produce for the defective chip — engines
+      must be outcome-equivalent, whatever shortcut they take.
+    * :attr:`last_model` is the error model of the most recent
+      :meth:`check` call, or ``None`` when the engine proved the defect
+      clean without simulating (callers roll its verdict statistics into
+      observability when present).
+    * :meth:`prepare` is an optional whole-library hook so batch-capable
+      engines can amortize work across defects.
+    """
+
+    name: str
+    golden: GoldenReference
+    last_model: Optional[CrosstalkErrorModel]
+
+    def prepare(self, defects: Iterable[Defect]) -> None:
+        """Optional batch hook called before a library sweep."""
+
+    def check(self, defect: Defect) -> ResponseCheck:
+        raise NotImplementedError
+
+
+class ExactEngine(SimulationEngine):
+    """One full replay per defect (the original simulator behavior)."""
+
+    name = "exact"
+
+    def __init__(
+        self,
+        program: SelfTestProgram,
+        params: ElectricalParams,
+        calibration: Calibration,
+        bus: str,
+    ):
+        self.program = program
+        self.params = params
+        self.calibration = calibration
+        self.bus = bus
+        self._base_image = build_base_image(program)
+        probe = make_system(program, self._base_image)
+        result = probe.run(entry=program.entry, max_cycles=10_000_000)
+        if not result.halted:
+            raise RuntimeError("golden run did not reach the halt convention")
+        self.golden = GoldenReference(
+            snapshot=probe.memory.snapshot(),
+            cycles=result.cycles,
+            instructions=result.instructions,
+        )
+        self.last_model = None
+
+    def check(self, defect: Defect) -> ResponseCheck:
+        system = make_system(self.program, self._base_image)
+        model = CrosstalkErrorModel(defect.caps, self.params, self.calibration)
+        _bus_of(system, self.bus).install_corruption_hook(model.corrupt)
+        result = system.run(
+            entry=self.program.entry, max_cycles=self.golden.max_cycles
+        )
+        self.last_model = model
+        return check_response(self.golden, system, result.halted)
+
+
+#: A fault-free run is indistinguishable from golden by definition.
+CLEAN_CHECK = ResponseCheck(detected=False, timed_out=False, mismatches=0)
+
+#: Cap on recorded replay behaviors per first-corruption group.  Real
+#: libraries collapse to a handful of behaviors per group; the cap only
+#: bounds the cost of the agreement scan if a pathological library keeps
+#: producing new ones (defects beyond it are simply replayed).
+MAX_REPLAY_CLASSES = 32
+
+#: Total recorded decision entries in a group beyond which the
+#: agreement scan switches from the scalar kernel to the vectorized
+#: :class:`DecisionEvaluator` (timed-out replays record hundreds of
+#: transitions; below this the scalar scan with move-to-front wins).
+VECTOR_MATCH_MIN_ENTRIES = 64
+
+#: One deduplicated transition decision: ``(previous, driven, direction)
+#: -> received``.
+_Decision = Tuple[Tuple[int, int, BusDirection], int]
+
+
+class _ReplayClass:
+    """One observed replay behavior and the outcome it produced.
+
+    ``decisions`` holds every distinct corruptible transition the
+    recorded run pushed through its corruption hook, with the word the
+    receiver sampled.  Any defect whose kernel reproduces all of these
+    decisions drives the deterministic system through the identical
+    cycle sequence, so it provably shares ``check``.  The record is
+    immutable; ``evaluator`` lazily caches the vectorized matcher for
+    large decision maps.
+    """
+
+    __slots__ = ("decisions", "check", "evaluator")
+
+    def __init__(
+        self, decisions: Tuple[_Decision, ...], check: ResponseCheck
+    ):
+        self.decisions = decisions
+        self.check = check
+        self.evaluator: Optional[DecisionEvaluator] = None
+
+
+class ScreenedEngine(SimulationEngine):
+    """Screen the library against the golden trace; replay only divergers.
+
+    Parameters
+    ----------
+    checkpoint_interval:
+        Golden checkpoint spacing in cycles (``None``: derived from the
+        golden cycle count).
+    screen_backend:
+        Passed to :class:`~repro.xtalk.screen.TraceScreen` (``"auto"``,
+        ``"numpy"`` or ``"python"``).
+    """
+
+    name = "screened"
+
+    def __init__(
+        self,
+        program: SelfTestProgram,
+        params: ElectricalParams,
+        calibration: Calibration,
+        bus: str,
+        checkpoint_interval: Optional[int] = None,
+        screen_backend: str = "auto",
+    ):
+        self.program = program
+        self.params = params
+        self.calibration = calibration
+        self.bus = bus
+        self._base_image = build_base_image(program)
+        capture = capture_golden_with_trace(
+            program, bus, interval=checkpoint_interval,
+            base_image=self._base_image,
+        )
+        self.golden = capture.golden
+        self.checkpoints = capture.checkpoints
+        self.screen = TraceScreen(
+            capture.trace, params, calibration, backend=screen_backend
+        )
+        self._scratch = make_system(program, self._base_image)
+        self._verdicts: Dict[int, ScreenVerdict] = {}
+        # first corrupted trace index -> replay behaviors seen so far,
+        # most-recently-matched first (defect libraries cluster, so the
+        # scan almost always hits the front entry).
+        self._replay_classes: Dict[int, List[_ReplayClass]] = {}
+        # Vectorized agreement checks only when the screen itself runs
+        # vectorized, so backend="python" stays a genuine pure-Python
+        # configuration.
+        self._vector_match = self.screen.backend == "numpy"
+        self.last_model = None
+
+    # -- screening ----------------------------------------------------------
+
+    def prepare(self, defects: Iterable[Defect]) -> None:
+        """Screen the whole library in one (vectorized) pass."""
+        defects = list(defects)
+        verdicts = self.screen.screen(defects)
+        for defect, verdict in zip(defects, verdicts):
+            self._verdicts[defect.index] = verdict
+
+    def _verdict_for(self, defect: Defect) -> ScreenVerdict:
+        verdict = self._verdicts.get(defect.index)
+        if verdict is None:
+            verdict = self.screen.screen_one(defect)
+            self._verdicts[defect.index] = verdict
+        return verdict
+
+    def _checkpoint_before(self, cycle: int) -> Checkpoint:
+        """The latest golden checkpoint strictly before ``cycle``.
+
+        A transaction stamped with cycle *c* happens during the step
+        that advances the clock to *c*, so any checkpoint taken at a
+        cycle ``< c`` precedes it.
+        """
+        best = self.checkpoints[0]
+        for checkpoint in self.checkpoints:
+            if checkpoint.cycle >= cycle:
+                break
+            best = checkpoint
+        return best
+
+    # -- judging ------------------------------------------------------------
+
+    def _agrees(
+        self, known: _ReplayClass, defect: Defect, kernel: TransitionKernel
+    ) -> bool:
+        """Does ``defect`` reproduce every decision of ``known``'s run?
+
+        Agreement must hold on *every* transition the recorded run
+        pushed through its hook — including the ones it left intact —
+        because a defect that additionally corrupts a later transition
+        of that run would diverge from it there.  Large decision maps
+        (timed-out replays record hundreds of transitions) go through
+        the vectorized :class:`DecisionEvaluator`; small maps and
+        borderline comparisons use the scalar kernel.
+        """
+        if (
+            self._vector_match
+            and len(known.decisions) >= VECTOR_MATCH_MIN_ENTRIES
+        ):
+            if known.evaluator is None:
+                known.evaluator = DecisionEvaluator(
+                    known.decisions, self.params, self.calibration,
+                    width=defect.caps.wire_count,
+                )
+            agreement = known.evaluator.agreement(defect.caps)
+            if agreement is not None:
+                return bool(agreement.all())
+            # Borderline comparison: only the scalar kernel is exact.
+        decide = kernel.decide
+        return all(
+            decide(previous, driven, direction)[0] == received
+            for (previous, driven, direction), received in known.decisions
+        )
+
+    def _matching_class(
+        self, classes: List[_ReplayClass], defect: Defect,
+        kernel: TransitionKernel,
+    ) -> Optional[_ReplayClass]:
+        """The recorded behavior ``defect`` reproduces, if any."""
+        for position, known in enumerate(classes):
+            if self._agrees(known, defect, kernel):
+                if position:  # move-to-front: clusters are heavily skewed
+                    del classes[position]
+                    classes.insert(0, known)
+                return known
+        return None
+
+    def check(self, defect: Defect) -> ResponseCheck:
+        verdict = self._verdict_for(defect)
+        registry = obs_runtime.registry()
+        if verdict.clean:
+            # Provably identical to the fault-free run: no simulation.
+            self.last_model = None
+            registry.counter("coverage.engine.screened_clean").inc()
+            return CLEAN_CHECK
+        kernel = TransitionKernel(defect.caps, self.params, self.calibration)
+        classes = self._replay_classes.setdefault(verdict.first_index, [])
+        known = self._matching_class(classes, defect, kernel)
+        if known is not None:
+            # Provably identical to an already-simulated defective run.
+            self.last_model = None
+            registry.counter("coverage.engine.replay_deduped").inc()
+            return known.check
+        registry.counter("coverage.engine.replayed").inc()
+        checkpoint = self._checkpoint_before(verdict.first_cycle)
+        if checkpoint.cycle > 0:
+            registry.counter("coverage.engine.checkpoint_resumed").inc()
+        system = self._scratch
+        system.restore(checkpoint.snapshot)
+        model = CrosstalkErrorModel(
+            defect.caps, self.params, self.calibration, kernel=kernel
+        )
+        corrupt = model.corrupt
+        decisions: Dict[Tuple[int, int, BusDirection], int] = {}
+
+        def recording_hook(
+            previous: int, driven: int, direction: BusDirection
+        ) -> int:
+            received = corrupt(previous, driven, direction)
+            if previous != driven:  # no-transition words corrupt for no kernel
+                decisions[(previous, driven, direction)] = received
+            return received
+
+        bus = _bus_of(system, self.bus)
+        bus.install_corruption_hook(recording_hook)
+        try:
+            result = system.resume(max_cycles=self.golden.max_cycles)
+        finally:
+            bus.install_corruption_hook(None)
+        self.last_model = model
+        outcome = check_response(self.golden, system, result.halted)
+        if len(classes) < MAX_REPLAY_CLASSES:
+            classes.append(
+                _ReplayClass(decisions=tuple(decisions.items()), check=outcome)
+            )
+        return outcome
+
+
+def make_engine(
+    engine: str,
+    program: SelfTestProgram,
+    params: ElectricalParams,
+    calibration: Calibration,
+    bus: str,
+    checkpoint_interval: Optional[int] = None,
+    screen_backend: str = "auto",
+) -> SimulationEngine:
+    """Engine factory keyed by name (``"exact"`` / ``"screened"``)."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    if engine == "exact":
+        return ExactEngine(program, params, calibration, bus)
+    return ScreenedEngine(
+        program,
+        params,
+        calibration,
+        bus,
+        checkpoint_interval=checkpoint_interval,
+        screen_backend=screen_backend,
+    )
+
+
+__all__ = [
+    "ENGINES",
+    "Checkpoint",
+    "GoldenCapture",
+    "SimulationEngine",
+    "ExactEngine",
+    "ScreenedEngine",
+    "auto_checkpoint_interval",
+    "capture_golden_with_trace",
+    "make_engine",
+]

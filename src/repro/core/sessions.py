@@ -18,10 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.core.coverage import DefectSimulator
 from repro.core.maf import MAFault
 from repro.core.program_builder import SelfTestProgram, SelfTestProgramBuilder
 from repro.obs import runtime as obs_runtime
 from repro.soc.bus import BusDirection
+from repro.xtalk.calibration import Calibration
+from repro.xtalk.defects import DefectLibrary
+from repro.xtalk.params import ElectricalParams
 
 
 @dataclass
@@ -100,3 +104,32 @@ def build_sessions(
             len(plan.unapplicable)
         )
     return plan
+
+
+def session_coverage(
+    plan: SessionPlan,
+    library: DefectLibrary,
+    params: ElectricalParams,
+    calibration: Calibration,
+    bus: str = "addr",
+    engine: str = "exact",
+    screen_backend: str = "auto",
+) -> float:
+    """Union defect coverage of every program in a session plan.
+
+    A defect is covered when *any* session detects it (the tester runs
+    every session; one failing signature fails the part).  ``engine``
+    selects the per-program simulation engine — ``"screened"`` pays off
+    here because each session program gets its own golden trace, and
+    defects clean on a session's trace skip that session's replay.
+    """
+    if len(library) == 0:
+        return 0.0
+    detected: set = set()
+    for program in plan.programs:
+        simulator = DefectSimulator(
+            program, params, calibration, bus=bus,
+            engine=engine, screen_backend=screen_backend,
+        )
+        detected |= simulator.detected_set(library)
+    return len(detected) / len(library)

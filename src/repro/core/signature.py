@@ -12,7 +12,7 @@ since the expected signature never materializes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.program_builder import SelfTestProgram
 from repro.soc.system import CpuMemorySystem
@@ -38,10 +38,34 @@ class GoldenReference:
         return self.cycles * TIMEOUT_FACTOR + TIMEOUT_SLACK
 
 
-def make_system(program: SelfTestProgram) -> CpuMemorySystem:
-    """A fresh system with ``program`` loaded (memory elsewhere is 0x00)."""
+def build_base_image(program: SelfTestProgram) -> bytes:
+    """The full initial memory image of ``program`` as one ``bytes`` blob.
+
+    Replaying a defect library re-creates the same initial memory once
+    per defect; materializing the sparse program image into a flat blob
+    once and bulk-restoring it is much cheaper than replaying the sparse
+    writes thousands of times.
+    """
+    image = bytearray(program.memory_size)
+    for address, value in program.image.items():
+        image[address] = value
+    return bytes(image)
+
+
+def make_system(
+    program: SelfTestProgram, base_image: Optional[bytes] = None
+) -> CpuMemorySystem:
+    """A fresh system with ``program`` loaded (memory elsewhere is 0x00).
+
+    ``base_image`` (from :func:`build_base_image`) skips the sparse
+    image walk with one bulk memory restore — same result, built for
+    callers that create systems in a loop.
+    """
     system = CpuMemorySystem(memory_size=program.memory_size)
-    system.load_image(program.image)
+    if base_image is not None:
+        system.memory.restore(base_image)
+    else:
+        system.load_image(program.image)
     return system
 
 
@@ -79,6 +103,21 @@ class ResponseCheck:
         return not self.detected
 
 
+def count_mismatches(snapshot: bytes, reference: bytes) -> int:
+    """Number of differing bytes between two equal-length images.
+
+    Runs at C speed (big-int XOR + ``bytes.count``): a defect campaign
+    calls this once per detected defect, and a byte-by-byte Python loop
+    over a 4K image would rival the simulation itself in cost.
+    """
+    if len(snapshot) != len(reference):
+        raise ValueError("image size mismatch")
+    difference = int.from_bytes(snapshot, "big") ^ int.from_bytes(
+        reference, "big"
+    )
+    return len(snapshot) - difference.to_bytes(len(snapshot), "big").count(0)
+
+
 def check_response(
     golden: GoldenReference,
     system: CpuMemorySystem,
@@ -90,9 +129,7 @@ def check_response(
     snapshot = system.memory.snapshot()
     if snapshot == golden.snapshot:
         return ResponseCheck(detected=False, timed_out=False, mismatches=0)
-    mismatches = sum(
-        1 for a, b in zip(snapshot, golden.snapshot) if a != b
-    )
+    mismatches = count_mismatches(snapshot, golden.snapshot)
     return ResponseCheck(detected=True, timed_out=False, mismatches=mismatches)
 
 

@@ -9,6 +9,7 @@ the *same* access independently, exactly as the paper's HDL simulation does.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cpu.alu import (
@@ -53,6 +54,24 @@ class BusPort:
         raise NotImplementedError
 
 
+@dataclass(frozen=True)
+class CpuSnapshot:
+    """Complete architectural + control state of a :class:`Cpu`.
+
+    ``decoded`` may be shared with the live CPU — :class:`DecodedOp` is
+    frozen, so sharing is safe.  Everything else is copied.
+    """
+
+    registers: RegisterFile
+    state: ControlState
+    instruction_count: int
+    decoded: Optional[DecodedOp]
+    instruction_start: int
+    effective_address: int
+    pointer_address: int
+    operand: int
+
+
 class Cpu:
     """PARWAN-class multicycle CPU.
 
@@ -92,6 +111,37 @@ class Cpu:
         self.state = ControlState.FETCH1_ADDR
         self.instruction_count = 0
         self._decoded = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> CpuSnapshot:
+        """Capture the complete CPU state, mid-instruction included.
+
+        The control FSM state and the microarchitectural latches are part
+        of the snapshot, so a restore may land between the cycles of one
+        instruction and execution still continues exactly.
+        """
+        return CpuSnapshot(
+            registers=self.registers.snapshot(),
+            state=self.state,
+            instruction_count=self.instruction_count,
+            decoded=self._decoded,
+            instruction_start=self._instruction_start,
+            effective_address=self._effective_address,
+            pointer_address=self._pointer_address,
+            operand=self._operand,
+        )
+
+    def restore(self, snapshot: CpuSnapshot) -> None:
+        """Overwrite the CPU state with a previously captured snapshot."""
+        self.registers.restore(snapshot.registers)
+        self.state = snapshot.state
+        self.instruction_count = snapshot.instruction_count
+        self._decoded = snapshot.decoded
+        self._instruction_start = snapshot.instruction_start
+        self._effective_address = snapshot.effective_address
+        self._pointer_address = snapshot.pointer_address
+        self._operand = snapshot.operand
 
     # -- execution ----------------------------------------------------------
 

@@ -37,6 +37,17 @@ class Flags:
         """True if any flag selected by ``mask`` is set (branch condition)."""
         return bool(self.as_mask() & mask)
 
+    def snapshot(self) -> "Flags":
+        """An independent copy of the current flag values."""
+        return Flags(v=self.v, c=self.c, z=self.z, n=self.n)
+
+    def restore(self, snapshot: "Flags") -> None:
+        """Overwrite the flags with a previously captured snapshot."""
+        self.v = snapshot.v
+        self.c = snapshot.c
+        self.z = snapshot.z
+        self.n = snapshot.n
+
     def set_zn(self, value: int) -> None:
         """Update Z and N from an 8-bit result."""
         self.z = (value & _AC_MASK) == 0
@@ -73,3 +84,28 @@ class RegisterFile:
     def advance_pc(self) -> None:
         """Increment the program counter with 12-bit wraparound."""
         self.write_pc(self.pc + 1)
+
+    def snapshot(self) -> "RegisterFile":
+        """An independent copy of the whole register file.
+
+        The returned object shares nothing with the live one; treat it
+        as immutable (it backs checkpoint/restore in the defect
+        simulator's screened engine).
+        """
+        return RegisterFile(
+            ac=self.ac,
+            pc=self.pc,
+            ir=self.ir,
+            arg=self.arg,
+            mar=self.mar,
+            flags=self.flags.snapshot(),
+        )
+
+    def restore(self, snapshot: "RegisterFile") -> None:
+        """Overwrite every register with a previously captured snapshot."""
+        self.ac = snapshot.ac
+        self.pc = snapshot.pc
+        self.ir = snapshot.ir
+        self.arg = snapshot.arg
+        self.mar = snapshot.mar
+        self.flags.restore(snapshot.flags)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class BusDirection(enum.Enum):
@@ -90,6 +90,22 @@ class BusStats:
         )
 
 
+@dataclass(frozen=True)
+class BusSnapshot:
+    """Complete restorable state of one bus: held word plus native counters.
+
+    Counters are included so a run resumed from a checkpoint reports the
+    same cumulative statistics as the full run it shortcuts.  Hooks and
+    observers are deliberately *not* part of the snapshot — they are
+    wiring, not state, and survive a restore unchanged.
+    """
+
+    value: int
+    transactions: int
+    corrupted: int
+    by_kind: Tuple[Tuple[TransactionKind, int], ...]
+
+
 class Bus:
     """An N-bit bus with hold-last-value semantics and a corruption hook.
 
@@ -147,6 +163,30 @@ class Bus:
         if not 0 <= value <= self._mask:
             raise ValueError("reset value does not fit the bus width")
         self._value = value
+
+    def snapshot(self) -> BusSnapshot:
+        """Capture the held word and the native counters."""
+        return BusSnapshot(
+            value=self._value,
+            transactions=self._transaction_count,
+            corrupted=self._corrupted_count,
+            by_kind=tuple(self._kind_counts.items()),
+        )
+
+    def restore(self, snapshot: BusSnapshot) -> None:
+        """Overwrite held word and counters with a snapshot.
+
+        The corruption hook and observers are untouched (as with
+        :meth:`reset`), so a caller can restore a checkpoint and then
+        install a different defect's hook for the resumed run.
+        """
+        if not 0 <= snapshot.value <= self._mask:
+            raise ValueError("snapshot value does not fit the bus width")
+        self._value = snapshot.value
+        self._transaction_count = snapshot.transactions
+        self._corrupted_count = snapshot.corrupted
+        self._kind_counts = {kind: 0 for kind in TransactionKind}
+        self._kind_counts.update(dict(snapshot.by_kind))
 
     def transfer(
         self,

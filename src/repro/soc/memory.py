@@ -56,6 +56,17 @@ class Memory:
         """Return an immutable copy of the whole memory content."""
         return bytes(self._cells)
 
+    def restore(self, snapshot: bytes) -> None:
+        """Overwrite the whole memory content with a snapshot.
+
+        This is the fast path for resetting memory between defect
+        replays (a single ``bytearray`` slice assignment) and for
+        restoring checkpoints in the screened simulation engine.
+        """
+        if len(snapshot) != self.size:
+            raise ValueError("snapshot size mismatch")
+        self._cells[:] = snapshot
+
     def region(self, start: int, length: int) -> bytes:
         """Return ``length`` bytes starting at ``start``."""
         self._check(start)

@@ -19,11 +19,11 @@ from dataclasses import dataclass
 from typing import List, Mapping, Optional, Sequence
 
 from repro.cpu.control import STATE_CATEGORIES
-from repro.cpu.datapath import BusPort, Cpu
+from repro.cpu.datapath import BusPort, Cpu, CpuSnapshot
 from repro.isa.instructions import ADDR_BITS, DATA_BITS, MEMORY_SIZE
 from repro.obs import runtime as obs_runtime
 from repro.obs.runtime import Observability
-from repro.soc.bus import Bus, BusDirection, TransactionKind
+from repro.soc.bus import Bus, BusDirection, BusSnapshot, TransactionKind
 from repro.soc.memory import Memory
 from repro.soc.mmio import MMIORegion
 
@@ -40,6 +40,26 @@ class RunResult:
     def timed_out(self) -> bool:
         """True when the cycle budget expired before the halt convention."""
         return not self.halted
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """Complete restorable state of a :class:`CpuMemorySystem`.
+
+    Everything the simulation depends on is captured: the clock, the CPU
+    (mid-instruction latches included), the memory image, and both buses'
+    held words and counters.  Restoring a snapshot and resuming therefore
+    reproduces the original run cycle for cycle — the property the
+    screened defect-simulation engine relies on to fast-forward defective
+    replays to just before their first corrupted transaction.
+    """
+
+    cycle: int
+    pending_address: int
+    cpu: CpuSnapshot
+    memory: bytes
+    address_bus: BusSnapshot
+    data_bus: BusSnapshot
 
 
 class CpuMemorySystem(BusPort):
@@ -128,6 +148,46 @@ class CpuMemorySystem(BusPort):
         self.cycle += 1
         self.cpu.tick()
 
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> SystemSnapshot:
+        """Capture the full system state for later :meth:`restore`.
+
+        Only pure CPU+memory systems are checkpointable: memory-mapped
+        peripheral cores keep private state the system cannot capture, so
+        a system with ``mmio_regions`` refuses to snapshot rather than
+        produce a checkpoint that silently resumes wrong.
+        """
+        if self.mmio_regions:
+            raise ValueError(
+                "cannot snapshot a system with MMIO regions: peripheral "
+                "cores hold state outside the system's reach"
+            )
+        return SystemSnapshot(
+            cycle=self.cycle,
+            pending_address=self._pending_address,
+            cpu=self.cpu.snapshot(),
+            memory=self.memory.snapshot(),
+            address_bus=self.address_bus.snapshot(),
+            data_bus=self.data_bus.snapshot(),
+        )
+
+    def restore(self, snapshot: SystemSnapshot) -> None:
+        """Rewind the system to a previously captured snapshot.
+
+        Bus corruption hooks and observers are not part of snapshots —
+        they survive a restore, so the caller can rewind to a golden
+        checkpoint and then install a defect's hook for the resumed run.
+        """
+        self.cycle = snapshot.cycle
+        self._pending_address = snapshot.pending_address
+        self.cpu.restore(snapshot.cpu)
+        self.memory.restore(snapshot.memory)
+        self.address_bus.restore(snapshot.address_bus)
+        self.data_bus.restore(snapshot.data_bus)
+
+    # -- clocked execution ---------------------------------------------------
+
     def run(self, entry: int = 0, max_cycles: int = 1_000_000) -> RunResult:
         """Reset to ``entry`` and clock the CPU until it halts.
 
@@ -141,32 +201,42 @@ class CpuMemorySystem(BusPort):
         session registry.  With observability off, this method is the
         plain tight loop it always was.
         """
-        obs = obs_runtime.active()
-        if obs is not None:
-            return self._run_observed(obs, entry, max_cycles)
         self.reset(entry)
-        while not self.cpu.halted and self.cycle < max_cycles:
-            self.step()
-        return RunResult(
-            halted=self.cpu.halted,
-            cycles=self.cycle,
-            instructions=self.cpu.instruction_count,
-        )
+        return self._drive(obs_runtime.active(), max_cycles, "cpu.runs")
 
-    def _run_observed(
-        self, obs: Observability, entry: int, max_cycles: int
+    def resume(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Continue clocking without a reset.
+
+        Used for cycle-level inspection and by the screened simulation
+        engine to continue from a restored checkpoint.  Instrumented the
+        same way as :meth:`run` (counter ``cpu.resumes`` instead of
+        ``cpu.runs``); counter increments are deltas over this call, so
+        a run split into resumes tallies the same totals as one run.
+        """
+        return self._drive(obs_runtime.active(), max_cycles, "cpu.resumes")
+
+    def _drive(
+        self, obs: Optional[Observability], max_cycles: int, run_counter: str
     ) -> RunResult:
-        """The instrumented twin of :meth:`run`."""
-        self.reset(entry)
+        """Clock the CPU until halt or ``max_cycles``; shared by run/resume."""
         cpu = self.cpu
+        if obs is None:
+            while not cpu.halted and self.cycle < max_cycles:
+                self.step()
+            return RunResult(
+                halted=cpu.halted,
+                cycles=self.cycle,
+                instructions=cpu.instruction_count,
+            )
+        cycles_before = self.cycle
+        instructions_before = cpu.instruction_count
         before = [bus.stats() for bus in (self.address_bus, self.data_bus)]
+        occupancy: dict = {}
         if obs.full_detail:
-            occupancy: dict = {}
             while not cpu.halted and self.cycle < max_cycles:
                 self.cycle += 1
                 cpu.tick_counted(occupancy)
         else:
-            occupancy = {}
             while not cpu.halted and self.cycle < max_cycles:
                 self.step()
         result = RunResult(
@@ -175,9 +245,11 @@ class CpuMemorySystem(BusPort):
             instructions=cpu.instruction_count,
         )
         registry = obs.registry
-        registry.counter("cpu.runs").inc()
-        registry.counter("cpu.cycles").inc(result.cycles)
-        registry.counter("cpu.instructions").inc(result.instructions)
+        registry.counter(run_counter).inc()
+        registry.counter("cpu.cycles").inc(self.cycle - cycles_before)
+        registry.counter("cpu.instructions").inc(
+            cpu.instruction_count - instructions_before
+        )
         if result.timed_out:
             registry.counter("cpu.timeouts").inc()
         for bus, earlier in zip((self.address_bus, self.data_bus), before):
@@ -197,13 +269,3 @@ class CpuMemorySystem(BusPort):
                 f"cpu.state_class.{STATE_CATEGORIES[state]}"
             ).inc(count)
         return result
-
-    def resume(self, max_cycles: int = 1_000_000) -> RunResult:
-        """Continue clocking without a reset (for cycle-level inspection)."""
-        while not self.cpu.halted and self.cycle < max_cycles:
-            self.step()
-        return RunResult(
-            halted=self.cpu.halted,
-            cycles=self.cycle,
-            instructions=self.cpu.instruction_count,
-        )

@@ -24,7 +24,9 @@ from repro.xtalk.rc_model import (
     transition_delay,
 )
 from repro.xtalk.calibration import Calibration, calibrate
+from repro.xtalk.kernel import TransitionKernel, WireError
 from repro.xtalk.error_model import CrosstalkErrorModel
+from repro.xtalk.screen import ScreenVerdict, TraceScreen
 from repro.xtalk.defects import Defect, DefectLibrary, generate_defect_library
 from repro.xtalk.waveform import WaveformResult, simulate_transition
 
@@ -39,7 +41,11 @@ __all__ = [
     "transition_delay",
     "Calibration",
     "calibrate",
+    "TransitionKernel",
+    "WireError",
     "CrosstalkErrorModel",
+    "ScreenVerdict",
+    "TraceScreen",
     "Defect",
     "DefectLibrary",
     "generate_defect_library",

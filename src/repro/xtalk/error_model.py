@@ -16,30 +16,27 @@ self-test program passes through it — including instruction fetches.
 This is what lets the simulation capture fault masking and secondary
 corruption effects, as the paper's HDL environment does.
 
-All per-wire decisions are precomputed into capacitance-domain thresholds
-at construction time, keeping the per-transition cost low (the defect
-simulator calls this hook millions of times).
+The per-wire decision itself lives in the shared pure
+:class:`~repro.xtalk.kernel.TransitionKernel` (all thresholds are
+precomputed into the capacitance domain at construction time, keeping
+the per-transition cost low — the defect simulator calls this hook
+millions of times).  The model adds the stateful parts: native tallies
+and the hook signature.  :class:`~repro.xtalk.screen.TraceScreen` uses
+the same kernel to pre-screen whole defect libraries against a golden
+transaction trace without simulating anything.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional
 
 from repro.soc.bus import BusDirection
 from repro.xtalk.calibration import Calibration, calibrate
 from repro.xtalk.capacitance import CapacitanceSet
-from repro.xtalk.params import LN2, ElectricalParams
+from repro.xtalk.kernel import TransitionKernel, WireError
+from repro.xtalk.params import ElectricalParams
 
-
-@dataclass(frozen=True)
-class WireError:
-    """Diagnostic record for one corrupted wire in one transition."""
-
-    wire: int
-    effect: str  # "positive_glitch", "negative_glitch", "delay"
-    magnitude: float  # coupled capacitance (fF) that caused the error
-    threshold: float  # the threshold it exceeded (fF)
+__all__ = ["CrosstalkErrorModel", "WireError"]
 
 
 class CrosstalkErrorModel:
@@ -54,6 +51,11 @@ class CrosstalkErrorModel:
     calibration:
         Thresholds; derive them from the *nominal* capacitances so that a
         perturbed bus is judged against the design's margins, not its own.
+    kernel:
+        Optional prebuilt :class:`TransitionKernel` for the same
+        ``(caps, params, calibration)`` triple; avoids re-deriving the
+        thresholds when the caller (e.g. the screened engine) already
+        built one.
     """
 
     def __init__(
@@ -61,10 +63,12 @@ class CrosstalkErrorModel:
         caps: CapacitanceSet,
         params: ElectricalParams,
         calibration: Calibration,
+        kernel: Optional[TransitionKernel] = None,
     ):
         self.caps = caps
         self.params = params
         self.calibration = calibration
+        self.kernel = kernel or TransitionKernel(caps, params, calibration)
         self.width = caps.wire_count
         # Native tallies (plain int increments, always on): how often the
         # model ran and what it decided.  The observability layer snapshots
@@ -74,28 +78,7 @@ class CrosstalkErrorModel:
         self.corruptions = 0
         self.glitch_errors = 0
         self.delay_errors = 0
-        # Neighbour lists: (other wire index, other wire bit mask, coupling).
-        self._neighbours: List[Tuple[Tuple[int, int, float], ...]] = [
-            tuple((j, 1 << j, cc) for j, cc in caps.neighbours(i))
-            for i in range(self.width)
-        ]
-        # Glitch: error iff |sum of signed switching coupling| exceeds
-        #   v_th * (Cg + Cnet) / (alpha * Vdd)   [capacitance domain]
-        scale = params.glitch_attenuation * params.vdd
-        self._glitch_threshold = [
-            calibration.v_th * (caps.ground[i] + caps.net_coupling(i)) / scale
-            for i in range(self.width)
-        ]
-        # Delay: error iff Cg + sum(mf * Cc) exceeds
-        #   t_margin / (ln2 * R * 1e-15)          [capacitance domain]
-        self._delay_slack: Dict[BusDirection, List[float]] = {}
-        for direction in BusDirection:
-            margin_cap = calibration.margin_for(direction) / (
-                LN2 * params.r_for(direction) * 1e-15
-            )
-            self._delay_slack[direction] = [
-                margin_cap - caps.ground[i] for i in range(self.width)
-            ]
+        self._decide = self.kernel.decide
 
     @classmethod
     def nominal(
@@ -117,47 +100,13 @@ class CrosstalkErrorModel:
         self.invocations += 1
         if previous == driven:
             return driven
-        changed = previous ^ driven
-        received = driven
-        neighbours = self._neighbours
-        delay_slack = self._delay_slack[direction]
-        glitch_threshold = self._glitch_threshold
-        for i in range(self.width):
-            bit = 1 << i
-            if changed & bit:
-                # Switching victim: Miller-weighted coupling load.
-                load = 0.0
-                rising = driven & bit
-                for j, bitj, cc in neighbours[i]:
-                    if changed & bitj:
-                        if bool(driven & bitj) != bool(rising):
-                            load += cc + cc  # opposite transition: 2x
-                        # same-direction transition: 0x
-                    else:
-                        load += cc  # quiet aggressor: 1x
-                if load > delay_slack[i]:
-                    # Receiver samples the old (pre-transition) value.
-                    received = (received & ~bit) | (previous & bit)
-                    self.delay_errors += 1
-            else:
-                # Stable victim: signed injected coupling.
-                injected = 0.0
-                for j, bitj, cc in neighbours[i]:
-                    if changed & bitj:
-                        if driven & bitj:
-                            injected += cc
-                        else:
-                            injected -= cc
-                if driven & bit:
-                    if -injected > glitch_threshold[i]:
-                        received &= ~bit  # negative glitch on stable 1
-                        self.glitch_errors += 1
-                else:
-                    if injected > glitch_threshold[i]:
-                        received |= bit  # positive glitch on stable 0
-                        self.glitch_errors += 1
+        received, glitch_flips, delay_flips = self._decide(
+            previous, driven, direction
+        )
         if received != driven:
             self.corruptions += 1
+            self.glitch_errors += glitch_flips
+            self.delay_errors += delay_flips
         return received
 
     def stats(self) -> Dict[str, int]:
@@ -174,35 +123,13 @@ class CrosstalkErrorModel:
     def explain(
         self, previous: int, driven: int, direction: BusDirection
     ) -> List[WireError]:
-        """Describe every wire error the transition would produce."""
-        errors: List[WireError] = []
-        if previous == driven:
-            return errors
-        changed = previous ^ driven
-        for i in range(self.width):
-            bit = 1 << i
-            if changed & bit:
-                load = 0.0
-                for j, bitj, cc in self._neighbours[i]:
-                    if changed & bitj:
-                        if bool(driven & bitj) != bool(driven & bit):
-                            load += 2.0 * cc
-                    else:
-                        load += cc
-                slack = self._delay_slack[direction][i]
-                if load > slack:
-                    errors.append(WireError(i, "delay", load, slack))
-            else:
-                injected = 0.0
-                for j, bitj, cc in self._neighbours[i]:
-                    if changed & bitj:
-                        injected += cc if (driven & bitj) else -cc
-                threshold = self._glitch_threshold[i]
-                if driven & bit and -injected > threshold:
-                    errors.append(WireError(i, "negative_glitch", -injected, threshold))
-                elif not (driven & bit) and injected > threshold:
-                    errors.append(WireError(i, "positive_glitch", injected, threshold))
-        return errors
+        """Describe every wire error the transition would produce.
+
+        Shares the Miller-weighting logic with :meth:`corrupt` through
+        the kernel, so a :class:`WireError` is reported for a wire
+        exactly when :meth:`corrupt` flips it.
+        """
+        return self.kernel.explain(previous, driven, direction)
 
     def would_corrupt(
         self, previous: int, driven: int, direction: BusDirection

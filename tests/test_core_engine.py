@@ -1,0 +1,253 @@
+"""Engine equivalence: screened == exact, checkpointed replay exactness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import default_bus_setup
+from repro.core.coverage import DefectSimulator
+from repro.core.engine import (
+    ExactEngine,
+    ScreenedEngine,
+    auto_checkpoint_interval,
+    capture_golden_with_trace,
+    make_engine,
+)
+from repro.core.program_builder import SelfTestProgramBuilder
+from repro.core.signature import build_base_image, capture_golden, make_system
+from repro.soc.mmio import MMIORegion, RegisterCore
+
+
+@pytest.fixture(scope="module")
+def builder():
+    return SelfTestProgramBuilder()
+
+
+@pytest.fixture(scope="module")
+def addr_program(builder):
+    return builder.build_address_bus_program()
+
+
+@pytest.fixture(scope="module")
+def data_program(builder):
+    return builder.build_data_bus_program()
+
+
+@pytest.fixture(scope="module")
+def addr_setup():
+    return default_bus_setup(12, defect_count=50, seed=11)
+
+
+@pytest.fixture(scope="module")
+def data_setup():
+    return default_bus_setup(8, defect_count=50, seed=11)
+
+
+def outcomes(program, setup, bus, **kwargs):
+    simulator = DefectSimulator(
+        program, setup.params, setup.calibration, bus=bus, **kwargs
+    )
+    return simulator.run_library(setup.library)
+
+
+@pytest.mark.parametrize("backend", ["python", "auto"])
+def test_screened_equals_exact_on_address_bus(
+    addr_program, addr_setup, backend
+):
+    exact = outcomes(addr_program, addr_setup, "addr")
+    screened = outcomes(
+        addr_program, addr_setup, "addr",
+        engine="screened", screen_backend=backend,
+    )
+    assert screened == exact
+
+
+def test_screened_equals_exact_on_data_bus(data_program, data_setup):
+    exact = outcomes(data_program, data_setup, "data")
+    screened = outcomes(data_program, data_setup, "data", engine="screened")
+    assert screened == exact
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    count=st.integers(1, 12),
+    interval=st.sampled_from([None, 1, 7, 64]),
+)
+def test_screened_equals_exact_on_random_libraries(
+    addr_program, seed, count, interval
+):
+    setup = default_bus_setup(12, defect_count=count, seed=seed)
+    exact = DefectSimulator(
+        addr_program, setup.params, setup.calibration, bus="addr"
+    ).run_library(setup.library)
+    screened = DefectSimulator(
+        addr_program, setup.params, setup.calibration, bus="addr",
+        engine="screened", checkpoint_interval=interval,
+    ).run_library(setup.library)
+    assert screened == exact
+
+
+def test_per_line_programs_equivalent(builder, addr_setup):
+    """Small per-line programs (the Fig. 11 shape screening accelerates)."""
+    faults = [f for f in builder.address_faults() if f.victim in (0, 5, 11)]
+    program = builder.build_address_bus_program(faults)
+    assert outcomes(program, addr_setup, "addr", engine="screened") == \
+        outcomes(program, addr_setup, "addr")
+
+
+def test_simulate_without_prepare(addr_program, addr_setup):
+    """Single-defect path must screen lazily (no run_library batch)."""
+    exact = DefectSimulator(
+        addr_program, addr_setup.params, addr_setup.calibration, bus="addr"
+    )
+    screened = DefectSimulator(
+        addr_program, addr_setup.params, addr_setup.calibration, bus="addr",
+        engine="screened",
+    )
+    for defect in addr_setup.library.defects[:5]:
+        assert screened.simulate(defect) == exact.simulate(defect)
+
+
+def test_engines_share_golden_reference(addr_program, addr_setup):
+    golden = capture_golden(addr_program)
+    for name in ("exact", "screened"):
+        engine = make_engine(
+            name, addr_program, addr_setup.params, addr_setup.calibration,
+            "addr",
+        )
+        assert engine.golden.snapshot == golden.snapshot
+        assert engine.golden.cycles == golden.cycles
+        assert engine.golden.instructions == golden.instructions
+
+
+def test_make_engine_rejects_unknown_name(addr_program, addr_setup):
+    with pytest.raises(ValueError):
+        make_engine(
+            "quantum", addr_program, addr_setup.params,
+            addr_setup.calibration, "addr",
+        )
+    with pytest.raises(ValueError):
+        DefectSimulator(
+            addr_program, addr_setup.params, addr_setup.calibration,
+            engine="quantum",
+        )
+
+
+def test_capture_golden_with_trace(addr_program):
+    capture = capture_golden_with_trace(addr_program, "addr", interval=16)
+    golden = capture_golden(addr_program)
+    assert capture.golden.snapshot == golden.snapshot
+    assert capture.golden.cycles == golden.cycles
+    assert capture.trace, "address bus trace must not be empty"
+    assert capture.checkpoints[0].cycle == 0
+    cycles = [c.cycle for c in capture.checkpoints]
+    assert cycles == sorted(cycles)
+    assert all(c.cycle < golden.cycles for c in capture.checkpoints)
+
+
+def test_checkpoint_resume_reproduces_suffix(addr_program):
+    """restore(checkpoint) + resume == the uninterrupted golden run."""
+    capture = capture_golden_with_trace(addr_program, "addr", interval=8)
+    golden = capture.golden
+    for checkpoint in capture.checkpoints[1::3]:
+        system = make_system(addr_program)
+        system.restore(checkpoint.snapshot)
+        result = system.resume(max_cycles=golden.max_cycles)
+        assert result.halted
+        assert result.cycles == golden.cycles
+        assert result.instructions == golden.instructions
+        assert system.memory.snapshot() == golden.snapshot
+
+
+def test_auto_checkpoint_interval_clamps():
+    assert auto_checkpoint_interval(40) == 4
+    assert auto_checkpoint_interval(640) == 10
+    assert auto_checkpoint_interval(1_000_000) == 256
+
+
+def test_screened_engine_uninstalls_hook(addr_program, addr_setup):
+    engine = ScreenedEngine(
+        addr_program, addr_setup.params, addr_setup.calibration, "addr"
+    )
+    corrupting = next(
+        d for d in addr_setup.library
+        if not engine.screen.screen_one(d).clean
+    )
+    engine.check(corrupting)
+    assert engine._scratch.address_bus._corruption_hook is None
+
+
+def test_exact_engine_base_image_matches_program(addr_program):
+    image = build_base_image(addr_program)
+    fresh = make_system(addr_program)
+    cached = make_system(addr_program, image)
+    assert fresh.memory.snapshot() == cached.memory.snapshot()
+    engine = ExactEngine(
+        addr_program,
+        default_bus_setup(12, defect_count=1, seed=1).params,
+        default_bus_setup(12, defect_count=1, seed=1).calibration,
+        "addr",
+    )
+    assert engine._base_image == image
+
+
+def test_replay_dedup_collapses_defect_classes(builder, addr_setup):
+    """Defects sharing a replay behavior reuse one simulated outcome."""
+    from repro.obs import runtime as obs_runtime
+
+    faults = [f for f in builder.address_faults() if f.victim == 5]
+    program = builder.build_address_bus_program(faults)
+    exact = outcomes(program, addr_setup, "addr")
+    simulator = DefectSimulator(
+        program, addr_setup.params, addr_setup.calibration, bus="addr",
+        engine="screened",
+    )
+    with obs_runtime.session() as obs:
+        screened = simulator.run_library(addr_setup.library)
+    assert screened == exact
+    total = len(addr_setup.library.defects)
+    snapshot = obs.registry.snapshot()
+
+    def count(name):
+        entry = snapshot.get("coverage.engine." + name)
+        return entry["value"] if entry else 0
+
+    clean, deduped, replayed = (
+        count("screened_clean"), count("replay_deduped"), count("replayed")
+    )
+    assert clean + deduped + replayed == total
+    assert deduped > 0, "expected defects to share a replay behavior"
+    recorded = sum(len(v) for v in simulator.engine._replay_classes.values())
+    assert recorded == replayed
+
+
+def test_vectorized_class_matching_equals_exact(
+    builder, addr_setup, monkeypatch
+):
+    """Force DecisionEvaluator matching on every class; outcomes unchanged."""
+    pytest.importorskip("numpy")
+    from repro.core import engine as engine_module
+
+    monkeypatch.setattr(engine_module, "VECTOR_MATCH_MIN_ENTRIES", 1)
+    faults = [f for f in builder.address_faults() if f.victim in (0, 7)]
+    program = builder.build_address_bus_program(faults)
+    screened = outcomes(
+        program, addr_setup, "addr",
+        engine="screened", screen_backend="numpy",
+    )
+    assert screened == outcomes(program, addr_setup, "addr")
+
+
+def test_snapshot_refuses_mmio():
+    system = make_system_with_mmio()
+    with pytest.raises(ValueError):
+        system.snapshot()
+
+
+def make_system_with_mmio():
+    from repro.soc.system import CpuMemorySystem
+
+    core = RegisterCore(register_count=16)
+    return CpuMemorySystem(
+        mmio_regions=[MMIORegion(base=0xF00, size=16, core=core)]
+    )
