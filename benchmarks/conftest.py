@@ -54,6 +54,18 @@ if BENCH_ENGINE not in ("exact", "screened"):
         f"REPRO_BENCH_ENGINE must be 'exact' or 'screened', "
         f"got {BENCH_ENGINE!r}"
     )
+# Worker counts the parallel-campaign benchmark sweeps (comma-separated;
+# the CI parallel-smoke job sets "2" to keep the quick run to one pool).
+WORKER_COUNTS = tuple(
+    int(token)
+    for token in os.environ.get("REPRO_BENCH_WORKERS", "1,2,4").split(",")
+    if token.strip()
+)
+if not WORKER_COUNTS or any(count < 1 for count in WORKER_COUNTS):
+    raise ValueError(
+        "REPRO_BENCH_WORKERS must be a comma-separated list of "
+        f"positive worker counts, got {os.environ['REPRO_BENCH_WORKERS']!r}"
+    )
 
 logger = logging.getLogger("repro.bench")
 

@@ -28,6 +28,10 @@ from dataclasses import dataclass
 from repro import obs
 from repro.core import (
     AppliedTest,
+    CampaignJournal,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
     CoverageReport,
     DefectSimulator,
     ExactEngine,
@@ -42,6 +46,7 @@ from repro.core import (
     build_sessions,
     enumerate_bus_faults,
     ma_vector_pair,
+    run_campaign,
     session_coverage,
 )
 from repro.soc import BusDirection, CpuMemorySystem
@@ -124,6 +129,10 @@ __all__ = [
     "BusGeometry",
     "BusTestSetup",
     "Calibration",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "CapacitanceSet",
     "CoverageReport",
     "CpuMemorySystem",
@@ -154,6 +163,7 @@ __all__ = [
     "generate_defect_library",
     "ma_vector_pair",
     "obs",
+    "run_campaign",
     "session_coverage",
     "__version__",
 ]

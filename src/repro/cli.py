@@ -15,20 +15,45 @@ Usage (installed as the ``repro-sbst`` entry point, or via
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro import (
+    CampaignSpec,
     DefectSimulator,
     SelfTestProgramBuilder,
     address_bus_line_coverage,
     default_bus_setup,
+    run_campaign,
 )
 from repro.analysis.charts import coverage_chart
 from repro.analysis.tables import format_table
 from repro.core.signature import capture_golden
 from repro.core.validate import validate_applied_tests
 from repro.isa.disassembler import disassemble_image, format_listing
+
+
+def _stderr_progress(label: str, every: int = 100) -> Callable[[int, int, int], None]:
+    """A campaign progress callback that reports on **stderr** only.
+
+    stdout is reserved for the command's machine-parseable output
+    (``--json``, tables, charts); progress must never interleave with
+    it — especially under parallel runs, where shard completions arrive
+    at arbitrary times.
+    """
+    state = {"last": 0}
+
+    def progress(done: int, total: int, detected: int) -> None:
+        if done - state["last"] >= every or done >= total:
+            state["last"] = done
+            print(
+                f"{label}: {done}/{total} defects, {detected} detected",
+                file=sys.stderr, flush=True,
+            )
+
+    return progress
 
 
 def _build_program(bus: str, builder: Optional[SelfTestProgramBuilder] = None):
@@ -98,21 +123,57 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.resume and not args.journal:
+        print("simulate: --resume requires --journal PATH", file=sys.stderr)
+        return 2
     width = 12 if args.bus == "addr" else 8
     setup = default_bus_setup(width, defect_count=args.defects, seed=args.seed)
     _, program = _build_program(args.bus)
-    simulator = DefectSimulator(
-        program, setup.params, setup.calibration, bus=args.bus,
+    spec = CampaignSpec(
+        program=program,
+        params=setup.params,
+        calibration=setup.calibration,
+        defects=tuple(setup.library),
+        bus=args.bus,
         engine=args.engine,
+        label=f"simulate:{args.bus}",
+        seed=args.seed,
     )
-    outcomes = simulator.run_library(setup.library)
-    detected = sum(1 for o in outcomes if o.detected)
-    timeouts = sum(1 for o in outcomes if o.timed_out)
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        journal=args.journal,
+        resume=args.resume,
+        progress=_stderr_progress(f"simulate[{args.bus}]"),
+    )
+    total = len(result.outcomes)
+    detected = result.detected
+    if args.json:
+        json.dump(
+            {
+                "bus": args.bus,
+                "engine": args.engine,
+                "backend": result.backend,
+                "workers": result.workers,
+                "defects": total,
+                "detected": detected,
+                "timeouts": result.timeouts,
+                "coverage": result.coverage(),
+                "executed": result.executed,
+                "resumed": result.resumed,
+            },
+            sys.stdout,
+            sort_keys=True,
+        )
+        print()
+        return 0
     rows = [
         ("engine", args.engine),
-        ("defects simulated", str(len(outcomes))),
-        ("detected", f"{detected} ({100 * detected / len(outcomes):.1f}%)"),
-        ("of which hung the CPU", str(timeouts)),
+        ("backend / workers", f"{result.backend} / {result.workers}"),
+        ("defects simulated", str(total)),
+        ("resumed from journal", str(result.resumed)),
+        ("detected", f"{detected} ({100 * detected / total:.1f}%)"),
+        ("of which hung the CPU", str(result.timeouts)),
     ]
     print(format_table(("quantity", "value"), rows,
                        title=f"defect simulation on bus: {args.bus}"))
@@ -120,11 +181,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_fig11(args: argparse.Namespace) -> int:
+    if args.resume and not args.journal:
+        print("fig11: --resume requires --journal PATH", file=sys.stderr)
+        return 2
     setup = default_bus_setup(12, defect_count=args.defects, seed=args.seed)
     builder, program = _build_program("addr")
     report = address_bus_line_coverage(
         setup.library, setup.params, setup.calibration,
         builder=builder, full_program=program, engine=args.engine,
+        workers=args.workers, journal=args.journal, resume=args.resume,
+        progress=_stderr_progress("fig11"),
     )
     print(coverage_chart(
         [(line.line, line.individual, line.cumulative)
@@ -168,6 +234,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "detail": args.detail,
         "engine": args.engine,
+        "workers": args.workers,
     }
     results: dict = {}
     with obs.session(detail=args.detail) as obs_session:
@@ -199,7 +266,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 report = address_bus_line_coverage(
                     setup.library, setup.params, setup.calibration,
                     builder=builder, full_program=program,
-                    engine=args.engine,
+                    engine=args.engine, workers=args.workers,
                 )
                 results["coverage"] = {
                     "cumulative": report.cumulative_coverage,
@@ -218,17 +285,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
                     "unapplicable": len(plan.unapplicable),
                 }
             else:  # "examples": the quickstart flow
-                simulator = DefectSimulator(
-                    program, setup.params, setup.calibration, bus=args.bus,
+                spec = CampaignSpec(
+                    program=program,
+                    params=setup.params,
+                    calibration=setup.calibration,
+                    defects=tuple(setup.library),
+                    bus=args.bus,
                     engine=args.engine,
+                    label="profile:examples",
+                    seed=args.seed,
                 )
-                outcomes = simulator.run_library(setup.library)
-                detected = sum(1 for o in outcomes if o.detected)
+                result = run_campaign(spec, workers=args.workers)
                 results["coverage"] = {
-                    "defects": len(outcomes),
-                    "detected": detected,
-                    "timeouts": sum(1 for o in outcomes if o.timed_out),
-                    "coverage": detected / len(outcomes) if outcomes else 0.0,
+                    "defects": len(result.outcomes),
+                    "detected": result.detected,
+                    "timeouts": result.timeouts,
+                    "coverage": result.coverage(),
                 }
         results["program"] = {
             "applied": len(program.applied),
@@ -295,12 +367,34 @@ def make_parser() -> argparse.ArgumentParser:
         "outcomes, much faster on lightly-corrupting campaigns)"
     )
 
+    workers_help = (
+        "campaign worker processes (1 = in-process serial; above 1 the "
+        "defects are sharded over a process pool with bit-identical "
+        "results)"
+    )
+    journal_help = (
+        "JSONL outcome journal: every judged defect is appended and "
+        "flushed, so an interrupted campaign can be resumed"
+    )
+    resume_help = (
+        "resume from the journal: skip every already-judged defect "
+        "(requires --journal; the journal must match the campaign "
+        "configuration)"
+    )
+
     simulate = sub.add_parser("simulate", help="run a defect campaign")
     simulate.add_argument("--bus", choices=("addr", "data"), default="addr")
     simulate.add_argument("--defects", type=int, default=300)
     simulate.add_argument("--seed", type=int, default=2001)
     simulate.add_argument("--engine", choices=("exact", "screened"),
                           default="exact", help=engine_help)
+    simulate.add_argument("--workers", type=int, default=1,
+                          help=workers_help)
+    simulate.add_argument("--journal", metavar="PATH", help=journal_help)
+    simulate.add_argument("--resume", action="store_true", help=resume_help)
+    simulate.add_argument("--json", action="store_true",
+                          help="emit one machine-parseable JSON object on "
+                          "stdout (progress stays on stderr)")
     simulate.set_defaults(func=cmd_simulate)
 
     fig11 = sub.add_parser("fig11", help="reproduce the paper's Fig. 11")
@@ -308,6 +402,9 @@ def make_parser() -> argparse.ArgumentParser:
     fig11.add_argument("--seed", type=int, default=2001)
     fig11.add_argument("--engine", choices=("exact", "screened"),
                        default="exact", help=engine_help)
+    fig11.add_argument("--workers", type=int, default=1, help=workers_help)
+    fig11.add_argument("--journal", metavar="PATH", help=journal_help)
+    fig11.add_argument("--resume", action="store_true", help=resume_help)
     fig11.set_defaults(func=cmd_fig11)
 
     timing = sub.add_parser("timing", help="Fig. 5 load-instruction timing")
@@ -328,6 +425,9 @@ def make_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=2001)
     profile.add_argument("--engine", choices=("exact", "screened"),
                          default="exact", help=engine_help)
+    profile.add_argument("--workers", type=int, default=1,
+                         help=workers_help + "; worker metrics are rolled "
+                         "up into the single RunReport")
     profile.add_argument("--detail", choices=("metrics", "full"),
                          default="full",
                          help="telemetry depth (full adds FSM occupancy "
@@ -344,10 +444,27 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    All logging goes to **stderr** (stdout carries only command
+    output), and Ctrl-C exits 130 with a resume hint instead of a
+    traceback — an interrupted journaled campaign picks up with
+    ``--resume``.
+    """
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    logging.getLogger("repro").addHandler(handler)
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted — a journaled campaign (--journal PATH) can be "
+            "picked up where it stopped with --resume",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

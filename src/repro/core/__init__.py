@@ -14,8 +14,10 @@ programs for the PARWAN-class CPU-memory system:
   address-conflict deferral;
 * :mod:`repro.core.sessions` — multi-session scheduling of deferred tests;
 * :mod:`repro.core.signature` — golden responses and detection checks;
-* :mod:`repro.core.coverage` — the defect-simulation campaign (Fig. 9)
-  and coverage reporting (Fig. 11).
+* :mod:`repro.core.campaign` — campaign orchestration: picklable specs,
+  serial/process execution backends, resumable JSONL outcome journals;
+* :mod:`repro.core.coverage` — defect-coverage aggregation (Fig. 9)
+  and coverage reporting (Fig. 11) on top of the campaign layer.
 """
 
 from repro.core.maf import (
@@ -43,10 +45,23 @@ from repro.core.engine import (
     capture_golden_with_trace,
     make_engine,
 )
+from repro.core.campaign import (
+    BACKENDS,
+    CampaignJournal,
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    DetectionOutcome,
+    ExecutionBackend,
+    JournalError,
+    ProcessBackend,
+    SerialBackend,
+    make_backend,
+    run_campaign,
+)
 from repro.core.coverage import (
     CoverageReport,
     DefectSimulator,
-    DetectionOutcome,
     address_bus_line_coverage,
 )
 from repro.core.diagnosis import DiagnosisReport, diagnose, diagnosis_accuracy
@@ -76,6 +91,17 @@ __all__ = [
     "SimulationEngine",
     "capture_golden_with_trace",
     "make_engine",
+    "BACKENDS",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ExecutionBackend",
+    "JournalError",
+    "ProcessBackend",
+    "SerialBackend",
+    "make_backend",
+    "run_campaign",
     "CoverageReport",
     "DefectSimulator",
     "DetectionOutcome",

@@ -1,0 +1,892 @@
+"""Campaign orchestration: specs, execution backends, durable journals.
+
+The paper's Fig. 11 experiments are defect *campaigns* — thousands of
+independent per-defect simulations whose :class:`DetectionOutcome`\\ s are
+aggregated afterwards.  This module is the orchestration layer those
+campaigns run on:
+
+:class:`CampaignSpec`
+    A picklable, engine-agnostic description of one campaign: the
+    program image, the electrical/threshold configuration, the defect
+    slice, and the engine selection.  A spec is pure data — workers
+    rebuild all live state (golden capture, screens, scratch systems)
+    from it via :meth:`CampaignSpec.build_engine`, so nothing with an
+    open handle or an installed bus hook ever crosses a process
+    boundary.
+
+Execution backends (:class:`SerialBackend`, :class:`ProcessBackend`)
+    One contract (:class:`ExecutionBackend.run`): judge the given
+    defects and return their outcomes.  The serial backend is the
+    in-process loop; the process backend shards the defect slice
+    round-robin over a :class:`~concurrent.futures.ProcessPoolExecutor`
+    and merges the shard results order-independently (outcomes carry
+    their defect index; the runner sorts).  Backends are
+    outcome-identical by construction: every defect is judged by an
+    engine built from the same spec, and engines are themselves
+    outcome-identical (see :mod:`repro.core.engine`).
+
+:class:`CampaignJournal`
+    A durable JSONL outcome journal.  Each judged defect is appended
+    and flushed immediately, so a crash or Ctrl-C loses at most the
+    in-flight shard; resuming with the same spec skips every journaled
+    defect.  The file is self-identifying (a header line carries a
+    fingerprint of the campaign configuration) and tolerates a
+    truncated or corrupt *trailing* line — the signature of a write cut
+    short — by repairing the file before appending.
+
+:class:`CampaignRunner`
+    Ties the three together: resolves the backend, loads the journal,
+    runs only the defects not already journaled, and returns a
+    :class:`CampaignResult` whose outcome list is bit-identical to an
+    uninterrupted serial run.
+
+Observability: workers run under their own metrics-only session when
+the parent has one, and each finished shard's snapshot is rolled up
+into the parent registry (:func:`repro.obs.metrics.merge_snapshot`), so
+one RunReport describes the whole parallel campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    IO,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core.engine import ENGINES, SimulationEngine, make_engine
+from repro.core.program_builder import SelfTestProgram
+from repro.core.signature import ResponseCheck
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import merge_snapshot
+from repro.xtalk.calibration import Calibration
+from repro.xtalk.defects import Defect
+from repro.xtalk.params import ElectricalParams
+
+logger = logging.getLogger("repro.core.campaign")
+
+#: Emit a campaign progress log line every this many simulated defects
+#: (DEBUG level; only when an observability session is active).
+PROGRESS_LOG_EVERY = 200
+
+#: ``(defects judged so far, total defects, detected so far)`` — called
+#: after every defect (serial) or every finished shard (process).
+ProgressCallback = Callable[[int, int, int], None]
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Result of simulating one defect against one program."""
+
+    defect_index: int
+    detected: bool
+    timed_out: bool
+    mismatches: int
+
+
+# ---------------------------------------------------------------------------
+# Per-defect execution (the instrumented judgment shared by every backend)
+# ---------------------------------------------------------------------------
+
+
+def execute_defect(
+    engine: SimulationEngine, defect: Defect, bus: str
+) -> DetectionOutcome:
+    """Judge one defect on ``engine``; return its detection outcome.
+
+    Under an active observability session this also times the replay
+    (``coverage.defect.replay`` timer), tallies detection counters and
+    rolls the error model's verdict statistics into the session
+    registry; with observability off it is the bare replay.  (A
+    screened engine may judge a defect without running a model — its
+    screening decisions appear under ``coverage.engine.*`` instead.)
+    """
+    obs = obs_runtime.active()
+    if obs is None:
+        check: ResponseCheck = engine.check(defect)
+        return DetectionOutcome(
+            defect_index=defect.index,
+            detected=check.detected,
+            timed_out=check.timed_out,
+            mismatches=check.mismatches,
+        )
+    start = time.perf_counter_ns()
+    if obs.full_detail:
+        with obs.spans.span("defect", index=defect.index, bus=bus):
+            check = engine.check(defect)
+    else:
+        check = engine.check(defect)
+    registry = obs.registry
+    registry.timer("coverage.defect.replay").observe(
+        time.perf_counter_ns() - start
+    )
+    registry.counter("coverage.defects.simulated").inc()
+    if check.detected:
+        registry.counter("coverage.defects.detected").inc()
+    if check.timed_out:
+        registry.counter("coverage.defects.timeouts").inc()
+    if engine.last_model is not None:
+        for suffix, value in engine.last_model.stats().items():
+            registry.counter(f"xtalk.model.{suffix}").inc(value)
+    return DetectionOutcome(
+        defect_index=defect.index,
+        detected=check.detected,
+        timed_out=check.timed_out,
+        mismatches=check.mismatches,
+    )
+
+
+def run_defects(
+    engine: SimulationEngine,
+    defects: Iterable[Defect],
+    bus: str,
+    on_outcome: Optional[Callable[[DetectionOutcome], None]] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[DetectionOutcome]:
+    """Judge every defect in order on one engine (the serial inner loop).
+
+    Batch-capable engines get one :meth:`SimulationEngine.prepare` call
+    first (the screened engine vectorizes its whole screening pass
+    there).  An active observability session gets a
+    ``coverage.campaign`` span, a live ``coverage.campaign.progress``
+    gauge in [0, 1], and a DEBUG progress log line every
+    :data:`PROGRESS_LOG_EVERY` defects.  ``on_outcome`` fires after
+    every judged defect (the journal's append hook).
+    """
+    defects = list(defects)
+    engine.prepare(defects)
+    total = len(defects)
+    obs = obs_runtime.active()
+    gauge = obs.registry.gauge("coverage.campaign.progress") if obs else None
+    outcomes: List[DetectionOutcome] = []
+    detected = 0
+    with obs_runtime.span("coverage.campaign", bus=bus, defects=total):
+        for count, defect in enumerate(defects, start=1):
+            outcome = execute_defect(engine, defect, bus)
+            outcomes.append(outcome)
+            if outcome.detected:
+                detected += 1
+            if on_outcome is not None:
+                on_outcome(outcome)
+            if gauge is not None:
+                gauge.set(count / total)
+                if count % PROGRESS_LOG_EVERY == 0 or count == total:
+                    logger.debug(
+                        "campaign %s: %d/%d defects simulated, %d detected",
+                        bus, count, total, detected,
+                    )
+            if progress is not None:
+                progress(count, total, detected)
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# The campaign spec
+# ---------------------------------------------------------------------------
+
+
+def config_digest(
+    params: ElectricalParams,
+    calibration: Calibration,
+    defects: Sequence[Defect],
+    extra: Mapping[str, object],
+) -> str:
+    """SHA-256 over a canonical JSON form of one campaign configuration.
+
+    Engine selection and tuning knobs are deliberately *excluded*:
+    engines are outcome-identical, so a journal written with the exact
+    engine may be resumed with the screened one (and vice versa).
+    """
+    payload = {
+        "params": [
+            params.vdd,
+            params.r_driver_cpu,
+            params.r_driver_mem,
+            params.glitch_attenuation,
+        ],
+        "calibration": {
+            "cth": calibration.cth,
+            "v_th": calibration.v_th,
+            "t_margin": sorted(
+                (direction.value, margin)
+                for direction, margin in calibration.t_margin.items()
+            ),
+            "safety_factor": calibration.safety_factor,
+        },
+        "defects": [
+            [defect.index, defect.caps.ground, defect.caps.coupling]
+            for defect in defects
+        ],
+        "extra": dict(extra),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to judge a slice of defects.
+
+    A spec is pure picklable data: the program image, the electrical
+    and threshold configuration, the defect slice, and the engine
+    selection.  It references no live system, bus, hook, tracer, or
+    open file — workers rebuild all of that with
+    :meth:`build_engine` (the golden capture is recomputed per worker,
+    which is one fault-free run: negligible against a library-sized
+    shard).
+    """
+
+    program: SelfTestProgram
+    params: ElectricalParams
+    calibration: Calibration
+    defects: Tuple[Defect, ...]
+    bus: str = "addr"
+    engine: str = "exact"
+    checkpoint_interval: Optional[int] = None
+    screen_backend: str = "auto"
+    label: str = "campaign"
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.bus not in ("addr", "data"):
+            raise ValueError("bus must be 'addr' or 'data'")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}")
+
+    @classmethod
+    def from_setup(
+        cls,
+        program: SelfTestProgram,
+        setup: "object",
+        bus: str = "addr",
+        **kwargs: object,
+    ) -> "CampaignSpec":
+        """Spec from a :class:`repro.BusTestSetup` convenience bundle."""
+        return cls(
+            program=program,
+            params=setup.params,  # type: ignore[attr-defined]
+            calibration=setup.calibration,  # type: ignore[attr-defined]
+            defects=tuple(setup.library),  # type: ignore[attr-defined]
+            bus=bus,
+            seed=getattr(getattr(setup, "library", None), "seed", None),
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    def build_engine(self) -> SimulationEngine:
+        """Rebuild the simulation engine this spec describes.
+
+        This is the factory workers call after unpickling a spec; the
+        engine recomputes its own golden capture (and, for the
+        screened engine, checkpoints and trace screen) from the
+        program image.
+        """
+        return make_engine(
+            self.engine,
+            self.program,
+            self.params,
+            self.calibration,
+            self.bus,
+            checkpoint_interval=self.checkpoint_interval,
+            screen_backend=self.screen_backend,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable identity of the campaign's *outcome-determining* config.
+
+        Two specs share a fingerprint iff they provably produce the
+        same outcome per defect: same program image and entry, same
+        bus, same electrical/threshold configuration, same defect
+        slice.  Engine choice and tuning knobs are excluded (engines
+        are outcome-identical), so a journal can be resumed under a
+        different engine.
+        """
+        return config_digest(
+            self.params,
+            self.calibration,
+            self.defects,
+            {
+                "kind": "campaign",
+                "bus": self.bus,
+                "entry": self.program.entry,
+                "memory_size": self.program.memory_size,
+                "image": sorted(self.program.image.items()),
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Durable outcome journal
+# ---------------------------------------------------------------------------
+
+
+class JournalError(ValueError):
+    """The journal file cannot back the requested campaign."""
+
+
+JOURNAL_KIND = "repro-campaign-journal"
+JOURNAL_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of judged defects, resumable after a crash.
+
+    Line 1 is a header identifying the campaign (``fingerprint`` from
+    :meth:`CampaignSpec.fingerprint` or :func:`config_digest`); every
+    further line is one outcome record
+    ``{"g": group, "i": index, "d": detected, "t": timed_out, "m":
+    mismatches}``.  Records are flushed as written, so an interrupted
+    campaign loses at most the outcomes still in flight.
+
+    ``resume=True`` loads an existing journal (verifying the
+    fingerprint) and appends to it; a truncated or corrupt *trailing*
+    line — the signature of a write cut short by the crash — is
+    tolerated and repaired by truncating the file back to the last
+    intact record.  Corruption anywhere *before* the tail is an error:
+    the journal can no longer be trusted.
+
+    A journal is deliberately **not picklable**: it owns an open file
+    handle, and worker processes must never inherit one (they receive
+    only the picklable :class:`CampaignSpec`).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fingerprint: str,
+        resume: bool = False,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.repaired = False
+        self._done: Dict[str, Dict[int, DetectionOutcome]] = {}
+        self._stream: Optional[IO[str]] = None
+        if resume and self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+            self._stream = open(self.path, "a", encoding="utf-8")
+        else:
+            self._stream = open(self.path, "w", encoding="utf-8")
+            self._write_line({
+                "kind": JOURNAL_KIND,
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            })
+
+    # -- loading / repair ---------------------------------------------------
+
+    def _load(self) -> None:
+        raw = self.path.read_bytes()
+        records: List[dict] = []
+        truncate_at: Optional[int] = None
+        pos = 0
+        lineno = 0
+        size = len(raw)
+        while pos < size:
+            newline = raw.find(b"\n", pos)
+            end = size if newline == -1 else newline
+            line = raw[pos:end].strip()
+            lineno += 1
+            if line:
+                payload: Optional[dict] = None
+                try:
+                    decoded = json.loads(line.decode("utf-8"))
+                    if isinstance(decoded, dict):
+                        payload = decoded
+                except (ValueError, UnicodeDecodeError):
+                    payload = None
+                if payload is None:
+                    if raw[end:].strip():
+                        raise JournalError(
+                            f"{self.path}: corrupt journal line {lineno} is "
+                            "followed by further records — refusing to "
+                            "resume from an untrustworthy journal"
+                        )
+                    # A trailing partial line: the interrupted write the
+                    # journal exists to survive.  Drop it.
+                    truncate_at = pos
+                    break
+                records.append(payload)
+            if newline == -1:
+                pos = size
+            else:
+                pos = newline + 1
+        if not records:
+            raise JournalError(f"{self.path}: no journal header")
+        header = records[0]
+        if header.get("kind") != JOURNAL_KIND:
+            raise JournalError(f"{self.path}: not a campaign journal")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"{self.path}: unsupported journal version "
+                f"{header.get('version')!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise JournalError(
+                f"{self.path}: journal belongs to a different campaign "
+                "(fingerprint mismatch) — pass a fresh journal path or "
+                "drop --resume"
+            )
+        for record in records[1:]:
+            if "i" not in record:
+                raise JournalError(
+                    f"{self.path}: malformed outcome record {record!r}"
+                )
+            outcome = DetectionOutcome(
+                defect_index=int(record["i"]),
+                detected=bool(record["d"]),
+                timed_out=bool(record["t"]),
+                mismatches=int(record["m"]),
+            )
+            group = str(record.get("g", "campaign"))
+            self._done.setdefault(group, {})[outcome.defect_index] = outcome
+        if truncate_at is not None:
+            with open(self.path, "r+b") as stream:
+                stream.truncate(truncate_at)
+            self.repaired = True
+        elif raw and not raw.endswith(b"\n"):
+            # Intact final record without its newline: complete the line
+            # so the next append starts fresh.
+            with open(self.path, "a", encoding="utf-8") as stream:
+                stream.write("\n")
+
+    # -- recording ----------------------------------------------------------
+
+    def done(self, group: str = "campaign") -> Dict[int, DetectionOutcome]:
+        """Already-journaled outcomes of ``group``, by defect index."""
+        return dict(self._done.get(group, {}))
+
+    @property
+    def completed(self) -> int:
+        """Total outcome records across all groups."""
+        return sum(len(outcomes) for outcomes in self._done.values())
+
+    def record(
+        self, outcome: DetectionOutcome, group: str = "campaign"
+    ) -> None:
+        """Append one outcome and flush it to disk."""
+        self._write_line({
+            "g": group,
+            "i": outcome.defect_index,
+            "d": int(outcome.detected),
+            "t": int(outcome.timed_out),
+            "m": outcome.mismatches,
+        })
+        self._done.setdefault(group, {})[outcome.defect_index] = outcome
+
+    def _write_line(self, payload: dict) -> None:
+        if self._stream is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        self._stream.write(json.dumps(payload, separators=(",", ":")))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __reduce__(self):
+        raise TypeError(
+            "CampaignJournal is not picklable: worker processes must never "
+            "inherit its open file handle (ship the CampaignSpec instead)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Judges a slice of a campaign's defects.
+
+    Contract: :meth:`run` returns one :class:`DetectionOutcome` per
+    given defect, each identical to what a fresh serial run of
+    ``spec.build_engine()`` would produce.  Outcome *order* is
+    backend-defined (the process backend yields shards as they
+    finish); callers that need determinism sort by ``defect_index`` —
+    :class:`CampaignRunner` does.  ``on_outcome`` must be called
+    exactly once per judged defect, in the parent process (it appends
+    to the journal, which workers must never touch).
+    """
+
+    name: str
+    workers: int = 1
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        defects: Sequence[Defect],
+        on_outcome: Optional[Callable[[DetectionOutcome], None]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[DetectionOutcome]:
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process loop: one engine, defects judged in order."""
+
+    name = "serial"
+    workers = 1
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        defects: Sequence[Defect],
+        on_outcome: Optional[Callable[[DetectionOutcome], None]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[DetectionOutcome]:
+        if not defects:
+            return []
+        engine = spec.build_engine()
+        return run_defects(
+            engine, defects, spec.bus, on_outcome=on_outcome,
+            progress=progress,
+        )
+
+
+# Worker-process state, set once per worker by the pool initializer so
+# the spec is shipped (and the engine built) once per worker rather than
+# once per shard.
+_WORKER_SPEC: Optional[CampaignSpec] = None
+_WORKER_ENGINE: Optional[SimulationEngine] = None
+_WORKER_COLLECT = False
+
+
+def _init_worker(spec: CampaignSpec, collect_metrics: bool) -> None:
+    """Build the per-worker engine from the (freshly unpickled) spec.
+
+    Any observability session inherited through ``fork`` is dropped
+    first: its registry belongs to the parent and updating the copy
+    would silently discard metrics.  Workers that should report roll
+    up through their own session in :func:`_run_shard` instead.
+    """
+    global _WORKER_SPEC, _WORKER_ENGINE, _WORKER_COLLECT
+    obs_runtime.disable()
+    _WORKER_SPEC = spec
+    _WORKER_ENGINE = spec.build_engine()
+    _WORKER_COLLECT = collect_metrics
+
+
+def _run_shard(
+    positions: Sequence[int],
+) -> Tuple[List[DetectionOutcome], Dict[str, dict]]:
+    """Judge one shard (positions into ``spec.defects``) in a worker."""
+    assert _WORKER_SPEC is not None and _WORKER_ENGINE is not None
+    defects = [_WORKER_SPEC.defects[position] for position in positions]
+    if _WORKER_COLLECT:
+        with obs_runtime.session(detail="metrics") as session:
+            outcomes = run_defects(_WORKER_ENGINE, defects, _WORKER_SPEC.bus)
+            snapshot = session.registry.snapshot()
+        return outcomes, snapshot
+    return run_defects(_WORKER_ENGINE, defects, _WORKER_SPEC.bus), {}
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard the defect slice over a process pool; merge order-independently.
+
+    Sharding is deterministic: the pending defects are dealt
+    round-robin into ``workers * SHARDS_PER_WORKER`` shards (striding
+    spreads expensive defect clusters across workers).  Each worker
+    builds its engine once (pool initializer), so shard count is a
+    load-balancing knob, not a setup-cost multiplier.  Outcomes arrive
+    in shard-completion order; they carry their defect index, so the
+    merged campaign result is independent of scheduling.
+
+    When the parent has an active observability session, each worker
+    runs its shards under a metrics-only session and the parent merges
+    every shard snapshot into its own registry — one RunReport for the
+    whole parallel campaign.
+    """
+
+    name = "process"
+
+    #: Shards dealt per worker: enough slack for dynamic load balance
+    #: without fragmenting the screened engine's batched screening pass.
+    SHARDS_PER_WORKER = 4
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        defects: Sequence[Defect],
+        on_outcome: Optional[Callable[[DetectionOutcome], None]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[DetectionOutcome]:
+        defects = list(defects)
+        if not defects:
+            return []
+        position_of = {
+            defect.index: position
+            for position, defect in enumerate(spec.defects)
+        }
+        try:
+            positions = [position_of[defect.index] for defect in defects]
+        except KeyError as error:
+            raise ValueError(
+                f"defect {error.args[0]!r} is not part of the campaign spec"
+            ) from None
+        shard_count = min(
+            len(positions), self.workers * self.SHARDS_PER_WORKER
+        )
+        shards = [positions[s::shard_count] for s in range(shard_count)]
+        obs = obs_runtime.active()
+        collect = obs is not None
+        registry = obs_runtime.registry()
+        registry.counter("campaign.shards").inc(len(shards))
+        registry.gauge("campaign.workers").set(self.workers)
+        total = len(defects)
+        done = 0
+        detected = 0
+        outcomes: List[DetectionOutcome] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, shard_count),
+            initializer=_init_worker,
+            initargs=(spec, collect),
+        ) as pool:
+            futures = [pool.submit(_run_shard, shard) for shard in shards]
+            for future in as_completed(futures):
+                shard_outcomes, snapshot = future.result()
+                if collect and snapshot:
+                    merge_snapshot(registry, snapshot)
+                for outcome in shard_outcomes:
+                    outcomes.append(outcome)
+                    done += 1
+                    if outcome.detected:
+                        detected += 1
+                    if on_outcome is not None:
+                        on_outcome(outcome)
+                if progress is not None:
+                    progress(done, total, detected)
+        return outcomes
+
+
+BACKENDS = ("serial", "process")
+
+
+def make_backend(
+    name: str, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Backend factory keyed by name (``"serial"`` / ``"process"``)."""
+    if name == "serial":
+        if workers not in (None, 1):
+            raise ValueError("the serial backend is single-worker")
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(workers=workers)
+    raise ValueError(f"backend must be one of {BACKENDS}")
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of one campaign run.
+
+    ``outcomes`` is sorted by defect index and bit-identical to an
+    uninterrupted serial run of the same spec, whatever backend or
+    resume history produced it.
+    """
+
+    label: str
+    outcomes: List[DetectionOutcome]
+    executed: int
+    resumed: int
+    backend: str
+    workers: int
+
+    def detected_set(self) -> Set[int]:
+        """Indices of the defects the program detects."""
+        return {
+            outcome.defect_index
+            for outcome in self.outcomes
+            if outcome.detected
+        }
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.detected)
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.timed_out)
+
+    def coverage(self) -> float:
+        """Fraction of the campaign's defects detected."""
+        if not self.outcomes:
+            return 0.0
+        return self.detected / len(self.outcomes)
+
+
+class CampaignRunner:
+    """Run one :class:`CampaignSpec` on a backend, optionally journaled.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    backend:
+        A backend name (``"serial"`` / ``"process"``) or a ready
+        :class:`ExecutionBackend` instance.
+    workers:
+        Worker count for a named ``"process"`` backend (ignored when a
+        backend instance is supplied).
+    journal:
+        ``None``, a path (a :class:`CampaignJournal` is opened against
+        the spec's fingerprint and closed afterwards), or an open
+        journal shared with other runners (multi-program campaigns use
+        ``group`` to keep their records apart).
+    resume:
+        With a journal path: load existing records and skip every
+        already-judged defect.  Without a journal this is an error —
+        there is nothing to resume from.
+    group:
+        Journal record group (defaults to the spec label).
+    progress:
+        Optional :data:`ProgressCallback` for live reporting.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        backend: Union[str, ExecutionBackend] = "serial",
+        workers: Optional[int] = None,
+        journal: Optional[Union[str, Path, CampaignJournal]] = None,
+        resume: bool = False,
+        group: Optional[str] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.spec = spec
+        if isinstance(backend, ExecutionBackend):
+            self.backend = backend
+        else:
+            self.backend = make_backend(backend, workers=workers)
+        if resume and journal is None:
+            raise ValueError("resume requires a journal")
+        self.journal = journal
+        self.resume = resume
+        self.group = group if group is not None else spec.label
+        self.progress = progress
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign; return the merged, index-sorted result."""
+        journal = self.journal
+        owns_journal = False
+        if journal is not None and not isinstance(journal, CampaignJournal):
+            journal = CampaignJournal(
+                journal, self.spec.fingerprint(), resume=self.resume
+            )
+            owns_journal = True
+        try:
+            done: Dict[int, DetectionOutcome] = (
+                journal.done(self.group) if journal is not None else {}
+            )
+            pending = [
+                defect
+                for defect in self.spec.defects
+                if defect.index not in done
+            ]
+            resumed = [
+                done[defect.index]
+                for defect in self.spec.defects
+                if defect.index in done
+            ]
+            on_outcome = None
+            if journal is not None:
+                bound_journal = journal
+
+                def on_outcome(outcome: DetectionOutcome) -> None:
+                    bound_journal.record(outcome, self.group)
+
+            executed = self.backend.run(
+                self.spec, pending, on_outcome=on_outcome,
+                progress=self.progress,
+            )
+        finally:
+            if owns_journal and journal is not None:
+                journal.close()
+        outcomes = sorted(
+            resumed + executed, key=lambda outcome: outcome.defect_index
+        )
+        registry = obs_runtime.registry()
+        registry.counter("campaign.outcomes.executed").inc(len(executed))
+        registry.counter("campaign.outcomes.resumed").inc(len(resumed))
+        return CampaignResult(
+            label=self.spec.label,
+            outcomes=outcomes,
+            executed=len(executed),
+            resumed=len(resumed),
+            backend=self.backend.name,
+            workers=self.backend.workers,
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    journal: Optional[Union[str, Path, CampaignJournal]] = None,
+    resume: bool = False,
+    group: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """One-call campaign: serial at ``workers == 1``, process pool above."""
+    backend = "process" if workers > 1 else "serial"
+    runner = CampaignRunner(
+        spec,
+        backend=backend,
+        workers=workers if workers > 1 else None,
+        journal=journal,
+        resume=resume,
+        group=group,
+        progress=progress,
+    )
+    return runner.run()
+
+
+__all__ = [
+    "BACKENDS",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "DetectionOutcome",
+    "ExecutionBackend",
+    "JournalError",
+    "ProcessBackend",
+    "SerialBackend",
+    "config_digest",
+    "execute_defect",
+    "make_backend",
+    "run_campaign",
+    "run_defects",
+]

@@ -1,54 +1,68 @@
-"""Defect-coverage evaluation (paper Section 5, Figs. 9 and 11).
+"""Defect-coverage aggregation (paper Section 5, Figs. 9 and 11).
 
-A :class:`DefectSimulator` re-runs one self-test program once per library
-defect with the crosstalk error model installed on the bus under test —
-so *every* bus transition of the run (fetches included) is subject to
-corruption, capturing fault masking exactly as the paper's HDL
-environment does.  A defect is detected when the final memory image
-differs from the fault-free golden image or the run never halts.
+Per-defect *execution* lives in :mod:`repro.core.campaign` (specs,
+backends, journals); this module is the *aggregation* side: the
+:class:`DefectSimulator` convenience wrapper (one program, one engine,
+in-process) and the Fig. 11 report builder
+:func:`address_bus_line_coverage`, which now routes every per-line
+campaign through a :class:`~repro.core.campaign.CampaignRunner` — so it
+shards across worker processes (``workers``) and survives interruption
+(``journal`` / ``resume``) without the report changing by a bit.
 
-:func:`address_bus_line_coverage` reproduces Fig. 11: it builds one small
-program per interconnect (the MA tests for that line), evaluates each
-against the whole library, and reports individual plus cumulative
-coverage per line.
+A defect is detected when the final memory image differs from the
+fault-free golden image or the run never halts; every bus transition of
+the run (fetches included) is subject to corruption, capturing fault
+masking exactly as the paper's HDL environment does.
 """
 
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
 
+from repro.core.campaign import (
+    PROGRESS_LOG_EVERY,
+    CampaignJournal,
+    CampaignRunner,
+    CampaignSpec,
+    DetectionOutcome,
+    ProgressCallback,
+    config_digest,
+    execute_defect,
+    run_defects,
+)
 from repro.core.engine import ENGINES, SimulationEngine, make_engine
 from repro.core.maf import MAFault, enumerate_bus_faults
 from repro.core.program_builder import SelfTestProgram, SelfTestProgramBuilder
-from repro.core.signature import GoldenReference, ResponseCheck
+from repro.core.signature import GoldenReference
 from repro.obs import runtime as obs_runtime
 from repro.xtalk.calibration import Calibration
 from repro.xtalk.defects import Defect, DefectLibrary
-from repro.xtalk.error_model import CrosstalkErrorModel
 from repro.xtalk.params import ElectricalParams
+
+__all__ = [
+    "PROGRESS_LOG_EVERY",
+    "CoverageReport",
+    "DefectSimulator",
+    "DetectionOutcome",
+    "LineCoverage",
+    "address_bus_line_coverage",
+    "fig11_fingerprint",
+]
 
 logger = logging.getLogger("repro.core.coverage")
 
-#: Emit a campaign progress log line every this many simulated defects
-#: (DEBUG level; only when an observability session is active).
-PROGRESS_LOG_EVERY = 200
-
-
-@dataclass(frozen=True)
-class DetectionOutcome:
-    """Result of simulating one defect against one program."""
-
-    defect_index: int
-    detected: bool
-    timed_out: bool
-    mismatches: int
-
 
 class DefectSimulator:
-    """Runs one self-test program across a defect library.
+    """Runs one self-test program across a defect library, in process.
+
+    A thin convenience front on the campaign layer: it owns one engine
+    and judges defects serially.  For sharded or resumable campaigns
+    build a :class:`~repro.core.campaign.CampaignSpec` (see
+    :meth:`spec`) and hand it to a
+    :class:`~repro.core.campaign.CampaignRunner`.
 
     Parameters
     ----------
@@ -91,6 +105,9 @@ class DefectSimulator:
         self.params = params
         self.calibration = calibration
         self.bus = bus
+        self.engine_name = engine
+        self.checkpoint_interval = checkpoint_interval
+        self.screen_backend = screen_backend
         self.engine: SimulationEngine = make_engine(
             engine,
             program,
@@ -101,83 +118,30 @@ class DefectSimulator:
             screen_backend=screen_backend,
         )
         self.golden: GoldenReference = self.engine.golden
-        self._last_model: Optional[CrosstalkErrorModel] = None
 
-    def _replay(self, defect: Defect) -> DetectionOutcome:
-        """The uninstrumented core of one defect judgment."""
-        check: ResponseCheck = self.engine.check(defect)
-        self._last_model = self.engine.last_model
-        return DetectionOutcome(
-            defect_index=defect.index,
-            detected=check.detected,
-            timed_out=check.timed_out,
-            mismatches=check.mismatches,
+    def spec(
+        self, library: Sequence[Defect], label: str = "campaign"
+    ) -> CampaignSpec:
+        """The picklable campaign spec equivalent to this simulator."""
+        return CampaignSpec(
+            program=self.program,
+            params=self.params,
+            calibration=self.calibration,
+            defects=tuple(library),
+            bus=self.bus,
+            engine=self.engine_name,
+            checkpoint_interval=self.checkpoint_interval,
+            screen_backend=self.screen_backend,
+            label=label,
         )
 
     def simulate(self, defect: Defect) -> DetectionOutcome:
-        """Simulate one defect; return its detection outcome.
-
-        Under an active observability session this also times the replay
-        (``coverage.defect.replay`` timer), tallies detection counters
-        and rolls the error model's verdict statistics into the session
-        registry; with observability off it is the bare replay.  (A
-        screened engine may judge a defect without running a model — its
-        screening decisions appear under ``coverage.engine.*`` instead.)
-        """
-        obs = obs_runtime.active()
-        if obs is None:
-            return self._replay(defect)
-        start = time.perf_counter_ns()
-        if obs.full_detail:
-            with obs.spans.span("defect", index=defect.index, bus=self.bus):
-                outcome = self._replay(defect)
-        else:
-            outcome = self._replay(defect)
-        registry = obs.registry
-        registry.timer("coverage.defect.replay").observe(
-            time.perf_counter_ns() - start
-        )
-        registry.counter("coverage.defects.simulated").inc()
-        if outcome.detected:
-            registry.counter("coverage.defects.detected").inc()
-        if outcome.timed_out:
-            registry.counter("coverage.defects.timeouts").inc()
-        if self._last_model is not None:
-            for suffix, value in self._last_model.stats().items():
-                registry.counter(f"xtalk.model.{suffix}").inc(value)
-        return outcome
+        """Simulate one defect; return its detection outcome."""
+        return execute_defect(self.engine, defect, self.bus)
 
     def run_library(self, library: DefectLibrary) -> List[DetectionOutcome]:
-        """Simulate every defect in the library.
-
-        Batch-capable engines get one :meth:`SimulationEngine.prepare`
-        call first (the screened engine vectorizes its whole screening
-        pass there).  An active observability session gets a
-        ``coverage.campaign`` span, a live ``coverage.campaign.progress``
-        gauge in [0, 1], and a DEBUG progress log line every
-        :data:`PROGRESS_LOG_EVERY` defects.
-        """
-        self.engine.prepare(library)
-        obs = obs_runtime.active()
-        if obs is None:
-            return [self.simulate(defect) for defect in library]
-        total = len(library)
-        progress = obs.registry.gauge("coverage.campaign.progress")
-        outcomes: List[DetectionOutcome] = []
-        detected = 0
-        with obs.spans.span("coverage.campaign", bus=self.bus, defects=total):
-            for count, defect in enumerate(library, start=1):
-                outcome = self.simulate(defect)
-                outcomes.append(outcome)
-                if outcome.detected:
-                    detected += 1
-                progress.set(count / total)
-                if count % PROGRESS_LOG_EVERY == 0 or count == total:
-                    logger.debug(
-                        "campaign %s: %d/%d defects simulated, %d detected",
-                        self.bus, count, total, detected,
-                    )
-        return outcomes
+        """Simulate every defect in the library (the serial inner loop)."""
+        return run_defects(self.engine, library, self.bus)
 
     def detected_set(self, library: DefectLibrary) -> Set[int]:
         """Indices of the defects the program detects."""
@@ -232,6 +196,32 @@ class CoverageReport:
         ]
 
 
+def fig11_fingerprint(
+    library: DefectLibrary,
+    params: ElectricalParams,
+    calibration: Calibration,
+    width: int,
+    with_full_program: bool,
+) -> str:
+    """Campaign fingerprint of a whole Fig. 11 run (all per-line groups).
+
+    The per-line programs are deterministic functions of the builder
+    configuration, so the figure-level journal is keyed on the shared
+    electrical/defect configuration plus the figure shape — computable
+    before any program is built.
+    """
+    return config_digest(
+        params,
+        calibration,
+        list(library),
+        {
+            "kind": "fig11",
+            "width": width,
+            "full_program": bool(with_full_program),
+        },
+    )
+
+
 def address_bus_line_coverage(
     library: DefectLibrary,
     params: ElectricalParams,
@@ -240,6 +230,10 @@ def address_bus_line_coverage(
     full_program: Optional[SelfTestProgram] = None,
     engine: str = "exact",
     screen_backend: str = "auto",
+    workers: int = 1,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
 ) -> CoverageReport:
     """Reproduce Fig. 11: per-interconnect and cumulative coverage.
 
@@ -248,50 +242,95 @@ def address_bus_line_coverage(
     against the whole library.  The cumulative series is the union of the
     detected sets in line order.  If ``full_program`` is given, its
     overall coverage is evaluated too (the paper's single-test-program
-    coverage, 100 % in their experiment).  ``engine`` selects the
-    defect-simulation engine per program (see :class:`DefectSimulator`);
-    the report is engine-independent.
+    coverage, 100 % in their experiment).
+
+    ``engine`` selects the defect-simulation engine per program and
+    ``workers`` the campaign parallelism (a process pool above 1); the
+    report is engine- and worker-independent.  ``journal`` names a JSONL
+    outcome journal covering the whole figure (one record group per
+    line, plus ``"full"``); with ``resume=True`` an interrupted run is
+    picked up where it stopped and the finished report is identical to
+    an uninterrupted one.
     """
     builder = builder or SelfTestProgramBuilder()
     width = builder.addr_width
     all_faults = enumerate_bus_faults(width)
 
+    shared_journal: Optional[CampaignJournal] = None
+    if journal is not None:
+        fingerprint = fig11_fingerprint(
+            library, params, calibration, width, full_program is not None
+        )
+        shared_journal = CampaignJournal(journal, fingerprint, resume=resume)
+
     lines: List[LineCoverage] = []
     union: Set[int] = set()
     total = len(library)
     obs = obs_runtime.active()
-    for victim in range(width):
-        line_faults: Sequence[MAFault] = [
-            fault for fault in all_faults if fault.victim == victim
-        ]
-        with obs_runtime.span("coverage.line", line=victim + 1):
-            program = builder.build_address_bus_program(line_faults)
-            simulator = DefectSimulator(program, params, calibration,
-                                        bus="addr", engine=engine,
-                                        screen_backend=screen_backend)
-            detected = simulator.detected_set(library)
-        union |= detected
-        line = LineCoverage(
-            line=victim + 1,
-            tests_applied=len(program.applied),
-            tests_total=len(line_faults),
-            individual=len(detected) / total if total else 0.0,
-            cumulative=len(union) / total if total else 0.0,
-            detected=detected,
-        )
-        lines.append(line)
-        if obs is not None:
-            # Per-MA-test detection stats (Fig. 11 series as live gauges).
-            prefix = f"coverage.line.{victim + 1:02d}"
-            obs.registry.gauge(f"{prefix}.individual").set(line.individual)
-            obs.registry.gauge(f"{prefix}.cumulative").set(line.cumulative)
-            obs.registry.counter("coverage.lines.evaluated").inc()
-    full_coverage = None
-    if full_program is not None:
-        simulator = DefectSimulator(full_program, params, calibration,
-                                    bus="addr", engine=engine,
-                                    screen_backend=screen_backend)
-        full_coverage = simulator.coverage(library)
+    try:
+        for victim in range(width):
+            line_faults: Sequence[MAFault] = [
+                fault for fault in all_faults if fault.victim == victim
+            ]
+            with obs_runtime.span("coverage.line", line=victim + 1):
+                program = builder.build_address_bus_program(line_faults)
+                spec = CampaignSpec(
+                    program=program,
+                    params=params,
+                    calibration=calibration,
+                    defects=tuple(library),
+                    bus="addr",
+                    engine=engine,
+                    screen_backend=screen_backend,
+                    label=f"line{victim + 1}",
+                )
+                result = CampaignRunner(
+                    spec,
+                    backend="process" if workers > 1 else "serial",
+                    workers=workers if workers > 1 else None,
+                    journal=shared_journal,
+                    progress=progress,
+                ).run()
+                detected = result.detected_set()
+            union |= detected
+            line = LineCoverage(
+                line=victim + 1,
+                tests_applied=len(program.applied),
+                tests_total=len(line_faults),
+                individual=len(detected) / total if total else 0.0,
+                cumulative=len(union) / total if total else 0.0,
+                detected=detected,
+            )
+            lines.append(line)
+            if obs is not None:
+                # Per-MA-test detection stats (Fig. 11 series as live gauges).
+                prefix = f"coverage.line.{victim + 1:02d}"
+                obs.registry.gauge(f"{prefix}.individual").set(line.individual)
+                obs.registry.gauge(f"{prefix}.cumulative").set(line.cumulative)
+                obs.registry.counter("coverage.lines.evaluated").inc()
+        full_coverage = None
+        if full_program is not None:
+            spec = CampaignSpec(
+                program=full_program,
+                params=params,
+                calibration=calibration,
+                defects=tuple(library),
+                bus="addr",
+                engine=engine,
+                screen_backend=screen_backend,
+                label="full",
+            )
+            result = CampaignRunner(
+                spec,
+                backend="process" if workers > 1 else "serial",
+                workers=workers if workers > 1 else None,
+                journal=shared_journal,
+                progress=progress,
+            ).run()
+            full_coverage = result.coverage()
+    finally:
+        if shared_journal is not None:
+            shared_journal.close()
     return CoverageReport(
         lines=lines,
         library_size=total,

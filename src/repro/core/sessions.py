@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.coverage import DefectSimulator
+from repro.core.campaign import CampaignSpec, run_campaign
 from repro.core.maf import MAFault
 from repro.core.program_builder import SelfTestProgram, SelfTestProgramBuilder
 from repro.obs import runtime as obs_runtime
@@ -114,6 +114,7 @@ def session_coverage(
     bus: str = "addr",
     engine: str = "exact",
     screen_backend: str = "auto",
+    workers: int = 1,
 ) -> float:
     """Union defect coverage of every program in a session plan.
 
@@ -122,14 +123,22 @@ def session_coverage(
     selects the per-program simulation engine — ``"screened"`` pays off
     here because each session program gets its own golden trace, and
     defects clean on a session's trace skip that session's replay.
+    ``workers`` shards each session's campaign over a process pool
+    (see :mod:`repro.core.campaign`); the result is worker-independent.
     """
     if len(library) == 0:
         return 0.0
     detected: set = set()
-    for program in plan.programs:
-        simulator = DefectSimulator(
-            program, params, calibration, bus=bus,
-            engine=engine, screen_backend=screen_backend,
+    for session, program in enumerate(plan.programs, start=1):
+        spec = CampaignSpec(
+            program=program,
+            params=params,
+            calibration=calibration,
+            defects=tuple(library),
+            bus=bus,
+            engine=engine,
+            screen_backend=screen_backend,
+            label=f"session{session}",
         )
-        detected |= simulator.detected_set(library)
+        detected |= run_campaign(spec, workers=workers).detected_set()
     return len(detected) / len(library)

@@ -33,6 +33,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     Timer,
+    merge_snapshot,
 )
 from repro.obs.report import RunReport
 from repro.obs.runtime import (
@@ -63,6 +64,7 @@ __all__ = [
     "disable",
     "enable",
     "load_schema",
+    "merge_snapshot",
     "registry",
     "session",
     "span",

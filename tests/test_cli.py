@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, make_parser
@@ -25,10 +27,78 @@ def test_simulate_small(capsys):
     assert "100.0%" in out
 
 
+def test_simulate_json_stdout_is_machine_parseable(capsys):
+    """--json emits exactly one JSON object on stdout; progress and
+    logs stay on stderr even under a parallel run."""
+    assert main([
+        "simulate", "--bus", "data", "--defects", "20",
+        "--workers", "2", "--json",
+    ]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)  # whole stdout must parse
+    assert payload["defects"] == 20
+    assert payload["detected"] == 20
+    assert payload["backend"] == "process"
+    assert payload["workers"] == 2
+    assert "defects" in captured.err  # progress went to stderr
+
+
+def test_simulate_workers_match_serial(capsys):
+    """simulate --workers N is byte-identical to the serial output."""
+    outputs = {}
+    for workers in ("1", "2"):
+        assert main([
+            "simulate", "--bus", "data", "--defects", "15",
+            "--workers", workers, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Backend/worker fields legitimately differ; everything the
+        # campaign *computed* must not.
+        outputs[workers] = {
+            key: value for key, value in payload.items()
+            if key not in ("backend", "workers")
+        }
+    assert outputs["1"] == outputs["2"]
+
+
+def test_simulate_journal_resume(tmp_path, capsys):
+    journal = tmp_path / "campaign.jsonl"
+    assert main([
+        "simulate", "--bus", "data", "--defects", "12",
+        "--journal", str(journal), "--json",
+    ]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["executed"] == 12
+    # Chop the tail off the journal: simulate an interrupted campaign.
+    lines = journal.read_text().splitlines(keepends=True)
+    journal.write_text("".join(lines[:7]))
+    assert main([
+        "simulate", "--bus", "data", "--defects", "12",
+        "--journal", str(journal), "--resume", "--json",
+    ]) == 0
+    resumed = json.loads(capsys.readouterr().out)
+    assert resumed["resumed"] == 6  # header + 6 records survived
+    assert resumed["executed"] == 6
+    for key in ("defects", "detected", "timeouts", "coverage"):
+        assert resumed[key] == first[key]
+
+
+def test_simulate_resume_requires_journal(capsys):
+    assert main(["simulate", "--resume"]) == 2
+    assert "--journal" in capsys.readouterr().err
+
+
 def test_fig11_small(capsys):
     assert main(["fig11", "--defects", "30"]) == 0
     out = capsys.readouterr().out
     assert "cumulative" in out
+
+
+def test_fig11_parallel_matches_serial(capsys):
+    assert main(["fig11", "--defects", "25"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["fig11", "--defects", "25", "--workers", "2"]) == 0
+    assert capsys.readouterr().out == serial
 
 
 def test_timing(capsys):
@@ -82,6 +152,24 @@ def test_profile_metrics_detail_omits_spans(tmp_path, capsys):
     report = RunReport.load(out)
     assert report.spans == []
     assert report.metrics["bus.data.corrupted"]["value"] > 0
+
+
+def test_profile_parallel_rolls_up_worker_metrics(tmp_path, capsys):
+    """One RunReport describes the whole parallel campaign: worker
+    shard snapshots are merged into the parent registry."""
+    from repro.obs import RunReport
+
+    out = tmp_path / "run_report.json"
+    assert main([
+        "profile", "examples", "--defects", "16", "--bus", "data",
+        "--workers", "2", "--detail", "metrics", "--out", str(out),
+    ]) == 0
+    report = RunReport.load(out)
+    assert report.config["workers"] == 2
+    assert report.metrics["coverage.defects.simulated"]["value"] == 16
+    assert report.metrics["campaign.workers"]["value"] == 2
+    assert report.metrics["coverage.defect.replay"]["count"] == 16
+    assert report.results["coverage"]["defects"] == 16
 
 
 def test_profile_trace_export(tmp_path, capsys):

@@ -1,0 +1,356 @@
+"""The campaign orchestration layer: specs, backends, journals, resume.
+
+The load-bearing guarantees under test:
+
+* a :class:`CampaignSpec` is pure picklable data with a stable
+  fingerprint (workers rebuild engines from it);
+* the process backend produces outcomes bit-identical to the serial
+  backend at any worker count;
+* the JSONL journal survives the interruptions it exists for — a
+  truncated trailing line is repaired, anything worse is refused — and
+  a resumed campaign's merged result is identical to an uninterrupted
+  run (a hypothesis property over random interrupt points).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import (
+    CampaignJournal,
+    CampaignRunner,
+    CampaignSpec,
+    DetectionOutcome,
+    JournalError,
+    ProcessBackend,
+    SerialBackend,
+    _init_worker,
+    make_backend,
+    run_campaign,
+)
+from repro import obs
+from repro.obs import runtime as obs_runtime
+
+
+@pytest.fixture(scope="module")
+def spec(address_setup, address_program, campaign_engine):
+    return CampaignSpec(
+        program=address_program,
+        params=address_setup.params,
+        calibration=address_setup.calibration,
+        defects=tuple(address_setup.library),
+        bus="addr",
+        engine=campaign_engine,
+        label="test-campaign",
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes(spec):
+    """The uninterrupted serial run every other result must match."""
+    return run_campaign(spec).outcomes
+
+
+@pytest.fixture(scope="module")
+def small_spec(spec):
+    """A 20-defect slice for the many-examples hypothesis property."""
+    return CampaignSpec(
+        program=spec.program,
+        params=spec.params,
+        calibration=spec.calibration,
+        defects=spec.defects[:20],
+        bus=spec.bus,
+        engine=spec.engine,
+        label=spec.label,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_serial_outcomes(small_spec):
+    return run_campaign(small_spec).outcomes
+
+
+# ---------------------------------------------------------------------------
+# CampaignSpec
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignSpec:
+    def test_pickle_round_trip(self, spec):
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_is_engine_independent(self, spec):
+        """A journal written under one engine must resume under the other."""
+        other = CampaignSpec(
+            program=spec.program,
+            params=spec.params,
+            calibration=spec.calibration,
+            defects=spec.defects,
+            bus=spec.bus,
+            engine="screened" if spec.engine == "exact" else "exact",
+            label=spec.label,
+        )
+        assert other.fingerprint() == spec.fingerprint()
+
+    def test_fingerprint_tracks_outcome_determining_config(self, spec):
+        fewer = CampaignSpec(
+            program=spec.program,
+            params=spec.params,
+            calibration=spec.calibration,
+            defects=spec.defects[:10],
+            bus=spec.bus,
+        )
+        assert fewer.fingerprint() != spec.fingerprint()
+
+    def test_build_engine_leaves_spec_picklable(self, spec):
+        """Engines hold live buses and hooks; the spec must not."""
+        spec.build_engine()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_rejects_bad_bus_and_engine(self, spec):
+        with pytest.raises(ValueError):
+            CampaignSpec(
+                program=spec.program, params=spec.params,
+                calibration=spec.calibration, defects=spec.defects,
+                bus="ctrl",
+            )
+        with pytest.raises(ValueError):
+            CampaignSpec(
+                program=spec.program, params=spec.params,
+                calibration=spec.calibration, defects=spec.defects,
+                engine="quantum",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class TestBackends:
+    def test_make_backend(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        process = make_backend("process", workers=3)
+        assert isinstance(process, ProcessBackend)
+        assert process.workers == 3
+        with pytest.raises(ValueError):
+            make_backend("serial", workers=2)
+        with pytest.raises(ValueError):
+            make_backend("thread")
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=0)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_process_backend_matches_serial(
+        self, spec, serial_outcomes, workers
+    ):
+        result = run_campaign(spec, workers=workers)
+        assert result.backend == "process"
+        assert result.workers == workers
+        assert result.outcomes == serial_outcomes
+
+    def test_process_backend_rejects_foreign_defects(self, spec):
+        import dataclasses
+
+        foreign = dataclasses.replace(spec.defects[0], index=10_000)
+        with pytest.raises(ValueError, match="not part of the campaign"):
+            ProcessBackend(workers=2).run(spec, [foreign])
+
+    def test_empty_defect_slice(self, spec):
+        assert SerialBackend().run(spec, []) == []
+        assert ProcessBackend(workers=2).run(spec, []) == []
+
+    def test_worker_initializer_drops_inherited_obs_session(self, spec):
+        """A forked worker must not report into the parent's registry."""
+        with obs.session(detail="metrics"):
+            assert obs_runtime.active() is not None
+            _init_worker(spec, collect_metrics=False)
+            assert obs_runtime.active() is None
+
+    def test_parallel_metrics_roll_up_into_one_registry(self, spec):
+        with obs.session(detail="metrics") as session:
+            run_campaign(spec, workers=2)
+        snapshot = session.registry.snapshot()
+        assert (
+            snapshot["coverage.defects.simulated"]["value"]
+            == len(spec.defects)
+        )
+        assert snapshot["campaign.workers"]["value"] == 2
+        replay = snapshot["coverage.defect.replay"]
+        assert replay["count"] == len(spec.defects)
+        assert replay["total_ns"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+
+def _outcome(index, detected=True):
+    return DetectionOutcome(
+        defect_index=index, detected=detected, timed_out=False,
+        mismatches=1 if detected else 0,
+    )
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.record(_outcome(3), group="a")
+            journal.record(_outcome(7, detected=False), group="b")
+        reloaded = CampaignJournal(path, "fp", resume=True)
+        assert reloaded.done("a") == {3: _outcome(3)}
+        assert reloaded.done("b") == {7: _outcome(7, detected=False)}
+        assert reloaded.done("missing") == {}
+        assert reloaded.completed == 2
+        assert not reloaded.repaired
+        reloaded.close()
+
+    def test_without_resume_overwrites(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.record(_outcome(1))
+        with CampaignJournal(path, "fp") as journal:
+            assert journal.done() == {}
+
+    def test_truncated_trailing_line_is_repaired(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.record(_outcome(1))
+            journal.record(_outcome(2))
+        intact_size = path.stat().st_size
+        with open(path, "a") as stream:
+            stream.write('{"g": "campaign", "i": 3, "d')  # the cut write
+        journal = CampaignJournal(path, "fp", resume=True)
+        assert journal.repaired
+        assert set(journal.done()) == {1, 2}
+        assert path.stat().st_size == intact_size
+        journal.record(_outcome(3))
+        journal.close()
+        reloaded = CampaignJournal(path, "fp", resume=True)
+        assert set(reloaded.done()) == {1, 2, 3}
+        assert not reloaded.repaired
+        reloaded.close()
+
+    def test_missing_trailing_newline_is_completed(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.record(_outcome(1))
+        raw = path.read_bytes()
+        path.write_bytes(raw.rstrip(b"\n"))  # intact record, no newline
+        journal = CampaignJournal(path, "fp", resume=True)
+        journal.record(_outcome(2))
+        journal.close()
+        reloaded = CampaignJournal(path, "fp", resume=True)
+        assert set(reloaded.done()) == {1, 2}
+        reloaded.close()
+
+    def test_mid_file_corruption_is_refused(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        with CampaignJournal(path, "fp") as journal:
+            journal.record(_outcome(1))
+            journal.record(_outcome(2))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:5]  # corrupt a record that is NOT last
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            CampaignJournal(path, "fp", resume=True)
+
+    def test_fingerprint_mismatch_is_refused(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        CampaignJournal(path, "fp-one").close()
+        with pytest.raises(JournalError, match="different campaign"):
+            CampaignJournal(path, "fp-two", resume=True)
+
+    def test_foreign_file_is_refused(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+        with pytest.raises(JournalError, match="not a campaign journal"):
+            CampaignJournal(path, "fp", resume=True)
+
+    def test_journal_is_not_picklable(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "campaign.jsonl", "fp")
+        with pytest.raises(TypeError, match="not picklable"):
+            pickle.dumps(journal)
+        journal.close()
+
+
+# ---------------------------------------------------------------------------
+# Runner + resume semantics
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerResume:
+    def test_resume_requires_journal(self, spec):
+        with pytest.raises(ValueError, match="requires a journal"):
+            CampaignRunner(spec, resume=True)
+
+    def test_completed_journal_resumes_without_executing(
+        self, spec, serial_outcomes, tmp_path
+    ):
+        path = tmp_path / "campaign.jsonl"
+        first = run_campaign(spec, journal=path)
+        assert first.executed == len(spec.defects)
+        assert first.resumed == 0
+        second = run_campaign(spec, journal=path, resume=True)
+        assert second.executed == 0
+        assert second.resumed == len(spec.defects)
+        assert second.outcomes == serial_outcomes
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_interrupted_run_resumes_identically(
+        self, spec, serial_outcomes, tmp_path, workers
+    ):
+        path = tmp_path / f"campaign-{workers}.jsonl"
+        journal = CampaignJournal(path, spec.fingerprint())
+        for outcome in serial_outcomes[:25]:  # the part that "finished"
+            journal.record(outcome, group=spec.label)
+        journal.close()
+        resumed = run_campaign(
+            spec, workers=workers, journal=path, resume=True
+        )
+        assert resumed.resumed == 25
+        assert resumed.executed == len(spec.defects) - 25
+        assert resumed.outcomes == serial_outcomes
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_resume_identical_over_random_interrupt_points(
+        self, data, small_spec, small_serial_outcomes, tmp_path_factory
+    ):
+        """Interrupt anywhere — mid-record included — and resume exactly.
+
+        The journal after an interrupt is: header + k intact records +
+        (sometimes) one partial trailing record.  Whatever k and
+        whatever the partial tail, the resumed campaign must equal the
+        uninterrupted run.
+        """
+        k = data.draw(
+            st.integers(min_value=0, max_value=len(small_serial_outcomes)),
+            label="records_flushed",
+        )
+        partial = data.draw(
+            st.sampled_from(["", '{"g"', '{"g": "test-campaign", "i": 1',
+                             "\x00\xff garbage"]),
+            label="partial_tail",
+        )
+        path = tmp_path_factory.mktemp("journal") / "campaign.jsonl"
+        journal = CampaignJournal(path, small_spec.fingerprint())
+        for outcome in small_serial_outcomes[:k]:
+            journal.record(outcome, group=small_spec.label)
+        journal.close()
+        if partial:
+            with open(path, "a") as stream:
+                stream.write(partial)
+        resumed = run_campaign(small_spec, journal=path, resume=True)
+        assert resumed.resumed == k
+        assert resumed.executed == len(small_serial_outcomes) - k
+        assert resumed.outcomes == small_serial_outcomes
