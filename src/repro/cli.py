@@ -122,7 +122,14 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _counter_value(snapshot: dict, name: str) -> int:
+    metric = snapshot.get(name)
+    return int(metric.get("value", 0)) if isinstance(metric, dict) else 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import runtime as obs_runtime
+
     if args.resume and not args.journal:
         print("simulate: --resume requires --journal PATH", file=sys.stderr)
         return 2
@@ -138,14 +145,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         engine=args.engine,
         label=f"simulate:{args.bus}",
         seed=args.seed,
+        core=args.core,
+        use_cache=not args.no_cache,
     )
-    result = run_campaign(
-        spec,
-        workers=args.workers,
-        journal=args.journal,
-        resume=args.resume,
-        progress=_stderr_progress(f"simulate[{args.bus}]"),
-    )
+    # A metrics session makes the golden-cache behavior observable in
+    # the output: warm runs report hits >= 1 and golden_cycles == 0.
+    with obs_runtime.session(detail="metrics") as obs_session:
+        result = run_campaign(
+            spec,
+            workers=args.workers,
+            journal=args.journal,
+            resume=args.resume,
+            progress=_stderr_progress(f"simulate[{args.bus}]"),
+        )
+        metrics = obs_session.registry.snapshot()
+    cache_stats = {
+        name: _counter_value(metrics, f"coverage.engine.golden_cache.{name}")
+        for name in ("hits", "misses", "stores", "corrupt_evicted")
+    }
+    golden_cycles = _counter_value(metrics, "coverage.engine.golden_cycles")
     total = len(result.outcomes)
     detected = result.detected
     if args.json:
@@ -153,6 +171,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             {
                 "bus": args.bus,
                 "engine": args.engine,
+                "core": args.core,
                 "backend": result.backend,
                 "workers": result.workers,
                 "defects": total,
@@ -161,6 +180,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 "coverage": result.coverage(),
                 "executed": result.executed,
                 "resumed": result.resumed,
+                "golden_cache": cache_stats,
+                "golden_cycles": golden_cycles,
             },
             sys.stdout,
             sort_keys=True,
@@ -169,11 +190,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         return 0
     rows = [
         ("engine", args.engine),
+        ("cpu core", args.core),
         ("backend / workers", f"{result.backend} / {result.workers}"),
         ("defects simulated", str(total)),
         ("resumed from journal", str(result.resumed)),
         ("detected", f"{detected} ({100 * detected / total:.1f}%)"),
         ("of which hung the CPU", str(result.timeouts)),
+        ("golden cycles simulated", str(golden_cycles)),
+        ("golden cache hits/misses",
+         f"{cache_stats['hits']} / {cache_stats['misses']}"),
     ]
     print(format_table(("quantity", "value"), rows,
                        title=f"defect simulation on bus: {args.bus}"))
@@ -190,7 +215,7 @@ def cmd_fig11(args: argparse.Namespace) -> int:
         setup.library, setup.params, setup.calibration,
         builder=builder, full_program=program, engine=args.engine,
         workers=args.workers, journal=args.journal, resume=args.resume,
-        progress=_stderr_progress("fig11"),
+        progress=_stderr_progress("fig11"), core=args.core,
     )
     print(coverage_chart(
         [(line.line, line.individual, line.cumulative)
@@ -235,6 +260,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         "detail": args.detail,
         "engine": args.engine,
         "workers": args.workers,
+        "core": args.core,
     }
     results: dict = {}
     with obs.session(detail=args.detail) as obs_session:
@@ -267,6 +293,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                     setup.library, setup.params, setup.calibration,
                     builder=builder, full_program=program,
                     engine=args.engine, workers=args.workers,
+                    core=args.core,
                 )
                 results["coverage"] = {
                     "cumulative": report.cumulative_coverage,
@@ -294,6 +321,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                     engine=args.engine,
                     label="profile:examples",
                     seed=args.seed,
+                    core=args.core,
                 )
                 result = run_campaign(spec, workers=args.workers)
                 results["coverage"] = {
@@ -327,6 +355,50 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"\nrun report written to {args.out} "
           f"({len(run_report.metrics)} metrics, "
           f"{len(run_report.phases)} phases)")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or trim the content-addressed golden-run artifact cache."""
+    from pathlib import Path
+
+    from repro.core import cache as golden_cache
+
+    root = Path(args.dir) if args.dir else golden_cache.cache_root()
+    store = golden_cache.GoldenRunCache(root)
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {root}")
+        return 0
+    if args.cache_command == "prune":
+        removed = len(store.prune(max_age_days=args.days,
+                                  max_entries=args.keep))
+        print(f"pruned {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"cache is empty ({root})")
+        return 0
+    rows = []
+    for entry in entries:
+        rows.append((
+            entry.key[:12],
+            entry.bus if entry.ok else "?",
+            str(entry.cycles) if entry.ok else "-",
+            str(entry.trace_length) if entry.ok else "-",
+            str(entry.checkpoint_count) if entry.ok else "-",
+            str(entry.verdict_count) if entry.ok else "-",
+            f"{entry.size_bytes / 1024:.1f}",
+            "ok" if entry.ok else "CORRUPT",
+        ))
+    print(format_table(
+        ("key", "bus", "cycles", "trace", "ckpts", "verdicts", "KiB",
+         "status"),
+        rows,
+        title=f"golden-run cache: {root}",
+    ))
     return 0
 
 
@@ -381,6 +453,11 @@ def make_parser() -> argparse.ArgumentParser:
         "(requires --journal; the journal must match the campaign "
         "configuration)"
     )
+    core_help = (
+        "CPU core implementation: 'micro' is the reference FSM, 'fast' the "
+        "microprogram fast path (bit-identical bus stream, ~2-3x faster), "
+        "'auto' follows REPRO_FAST_CORE (default: fast)"
+    )
 
     simulate = sub.add_parser("simulate", help="run a defect campaign")
     simulate.add_argument("--bus", choices=("addr", "data"), default="addr")
@@ -392,6 +469,11 @@ def make_parser() -> argparse.ArgumentParser:
                           help=workers_help)
     simulate.add_argument("--journal", metavar="PATH", help=journal_help)
     simulate.add_argument("--resume", action="store_true", help=resume_help)
+    simulate.add_argument("--core", choices=("auto", "fast", "micro"),
+                          default="auto", help=core_help)
+    simulate.add_argument("--no-cache", action="store_true",
+                          help="skip the golden-run artifact cache and "
+                          "recapture the fault-free reference")
     simulate.add_argument("--json", action="store_true",
                           help="emit one machine-parseable JSON object on "
                           "stdout (progress stays on stderr)")
@@ -405,6 +487,8 @@ def make_parser() -> argparse.ArgumentParser:
     fig11.add_argument("--workers", type=int, default=1, help=workers_help)
     fig11.add_argument("--journal", metavar="PATH", help=journal_help)
     fig11.add_argument("--resume", action="store_true", help=resume_help)
+    fig11.add_argument("--core", choices=("auto", "fast", "micro"),
+                       default="auto", help=core_help)
     fig11.set_defaults(func=cmd_fig11)
 
     timing = sub.add_parser("timing", help="Fig. 5 load-instruction timing")
@@ -439,7 +523,28 @@ def make_parser() -> argparse.ArgumentParser:
                          "fault-free golden run")
     profile.add_argument("--max-trace", type=int, default=4096,
                          help="trace ring-buffer capacity (newest kept)")
+    profile.add_argument("--core", choices=("auto", "fast", "micro"),
+                         default="auto", help=core_help)
     profile.set_defaults(func=cmd_profile)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or trim the golden-run artifact cache",
+    )
+    cache.add_argument("--dir", metavar="PATH",
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                       ".repro-cache)")
+    cache_sub = cache.add_subparsers(dest="cache_command")
+    cache_sub.add_parser("ls", help="list cache entries (default)")
+    prune = cache_sub.add_parser(
+        "prune", help="drop old or excess cache entries"
+    )
+    prune.add_argument("--days", type=float, default=None,
+                       help="drop entries older than this many days")
+    prune.add_argument("--keep", type=int, default=None,
+                       help="keep at most this many newest entries")
+    cache_sub.add_parser("clear", help="remove every cache entry")
+    cache.set_defaults(func=cmd_cache, cache_command="ls")
     return parser
 
 

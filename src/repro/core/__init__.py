@@ -45,6 +45,15 @@ from repro.core.engine import (
     capture_golden_with_trace,
     make_engine,
 )
+from repro.core.cache import (
+    CachedCampaign,
+    CacheEntryInfo,
+    CacheError,
+    GoldenRunCache,
+    cache_enabled,
+    cache_root,
+    default_cache,
+)
 from repro.core.campaign import (
     BACKENDS,
     CampaignJournal,
@@ -91,6 +100,13 @@ __all__ = [
     "SimulationEngine",
     "capture_golden_with_trace",
     "make_engine",
+    "CachedCampaign",
+    "CacheEntryInfo",
+    "CacheError",
+    "GoldenRunCache",
+    "cache_enabled",
+    "cache_root",
+    "default_cache",
     "BACKENDS",
     "CampaignJournal",
     "CampaignResult",

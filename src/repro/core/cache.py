@@ -1,0 +1,679 @@
+"""Content-addressed on-disk cache of golden-run artifacts.
+
+Since PR 4, every :class:`~repro.core.campaign.CampaignSpec` can rebuild
+its engine from scratch — which each process-pool worker, each
+``--resume``, and each repeated CLI invocation did by re-simulating the
+entire golden run.  The golden artifacts are pure functions of the
+spec's :meth:`~repro.core.campaign.CampaignSpec.fingerprint` (program
+image + entry, electrical parameters, calibration, defect library, bus)
+plus the checkpoint-interval knob, so this module stores them on disk
+keyed by exactly that.
+
+Entry layout (one file per key, ``<sha256>.rgc`` under the cache root):
+
+* line 1 — a JSON header: magic, format version, key, fingerprint,
+  human-readable stats, and a section table ``{name: {offset, length,
+  raw_length, codec, sha256}}`` with offsets relative to the byte after
+  the header newline;
+* body — the concatenated sections, each packed with :mod:`struct` and
+  optionally zlib-compressed:
+
+  - ``golden``   — cycle/instruction counts + final memory image,
+  - ``trace``    — the golden bus-transaction stream,
+  - ``checkpoints`` — the mid-run :class:`SystemSnapshot` series,
+  - ``verdicts`` — screen verdicts already computed for this golden
+    trace (written back after screening so warm runs skip the screen
+    for known defects).
+
+Integrity: every section carries a SHA-256 over its stored bytes and is
+verified on load; any mismatch, truncation, or undecodable structure
+evicts the entry (``corrupt_evicted`` counter) and reports a miss —
+a damaged cache can cost time, never correctness.  Writes go through a
+temp file + :func:`os.replace`, so readers never observe a partial
+entry.  Invalidation is purely key-based: any input change moves the
+fingerprint, and :data:`FORMAT_VERSION` is folded into the key so
+layout changes orphan (rather than misread) old entries.
+
+Environment: ``REPRO_CACHE_DIR`` overrides the default ``.repro-cache``
+root; ``REPRO_GOLDEN_CACHE=0`` disables the cache entirely.  All
+operations count into ``coverage.engine.golden_cache.*`` when an
+observability session is active.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.cpu.control import ControlState, decode_raw
+from repro.cpu.datapath import CpuSnapshot
+from repro.cpu.registers import Flags, RegisterFile
+from repro.core.engine import Checkpoint, GoldenCapture
+from repro.core.signature import GoldenReference
+from repro.obs import runtime as obs_runtime
+from repro.soc.bus import BusDirection, BusSnapshot, BusTransaction, TransactionKind
+from repro.soc.system import SystemSnapshot
+from repro.xtalk.screen import ScreenVerdict
+
+__all__ = [
+    "CacheEntryInfo",
+    "CacheError",
+    "CachedCampaign",
+    "DEFAULT_CACHE_DIR",
+    "FORMAT_VERSION",
+    "GoldenRunCache",
+    "cache_enabled",
+    "cache_root",
+    "default_cache",
+]
+
+logger = logging.getLogger(__name__)
+
+MAGIC = "repro-golden-cache"
+FORMAT_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro-cache"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_ENABLE = "REPRO_GOLDEN_CACHE"
+_DISABLE_TOKENS = ("0", "off", "false", "no")
+_SUFFIX = ".rgc"
+_COUNTER_PREFIX = "coverage.engine.golden_cache"
+
+_KINDS: Tuple[TransactionKind, ...] = tuple(TransactionKind)
+_KIND_INDEX = {kind: index for index, kind in enumerate(_KINDS)}
+_DIRECTIONS: Tuple[BusDirection, ...] = tuple(BusDirection)
+_DIRECTION_INDEX = {direction: index for index, direction in enumerate(_DIRECTIONS)}
+_STATES: Tuple[ControlState, ...] = tuple(ControlState)
+_STATE_INDEX = {state: index for index, state in enumerate(_STATES)}
+
+# Packed record layouts (little-endian, no padding).
+_TXN = struct.Struct("<IBBHHH")  # cycle, kind, direction, previous, driven, received
+_VERDICT = struct.Struct("<IBqq")  # defect_index, clean, first_index, first_cycle
+_GOLDEN_HEAD = struct.Struct("<II")  # cycles, instructions
+_CHECKPOINT_HEAD = struct.Struct(
+    "<IH" "HHHHH" "B" "BIB" "HHHH"
+)  # cycle, pending | ac,pc,ir,arg,mar | flags | state,icount,has_decoded | latches
+_BUS_SNAP = struct.Struct("<HQQ" + "Q" * len(_KINDS))
+
+
+class CacheError(Exception):
+    """A cache entry could not be encoded or decoded."""
+
+
+def cache_enabled() -> bool:
+    """Whether the golden-run cache is enabled (``REPRO_GOLDEN_CACHE``)."""
+    token = os.environ.get(ENV_CACHE_ENABLE, "1").strip().lower()
+    return token not in _DISABLE_TOKENS
+
+
+def cache_root() -> Path:
+    """The cache directory (``REPRO_CACHE_DIR`` or ``.repro-cache``)."""
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+def default_cache() -> Optional["GoldenRunCache"]:
+    """The environment-configured cache, or ``None`` when disabled.
+
+    Reads the environment at call time so tests and workers can point
+    ``REPRO_CACHE_DIR`` somewhere hermetic.
+    """
+    if not cache_enabled():
+        return None
+    return GoldenRunCache(cache_root())
+
+
+def _count(name: str, amount: int = 1) -> None:
+    obs_runtime.registry().counter(f"{_COUNTER_PREFIX}.{name}").inc(amount)
+
+
+# ---------------------------------------------------------------------------
+# Section codecs
+# ---------------------------------------------------------------------------
+
+
+def _pack_trace(trace: List[BusTransaction]) -> bytes:
+    out = bytearray()
+    pack = _TXN.pack
+    for txn in trace:
+        out += pack(
+            txn.cycle,
+            _KIND_INDEX[txn.kind],
+            _DIRECTION_INDEX[txn.direction],
+            txn.previous,
+            txn.driven,
+            txn.received,
+        )
+    return bytes(out)
+
+
+def _unpack_trace(blob: bytes, bus: str) -> List[BusTransaction]:
+    if len(blob) % _TXN.size:
+        raise CacheError("trace section is not a whole number of records")
+    trace = []
+    for cycle, kind, direction, previous, driven, received in _TXN.iter_unpack(blob):
+        if kind >= len(_KINDS) or direction >= len(_DIRECTIONS):
+            raise CacheError("trace record has an out-of-range enum index")
+        trace.append(
+            BusTransaction(
+                cycle=cycle,
+                bus=bus,
+                kind=_KINDS[kind],
+                direction=_DIRECTIONS[direction],
+                previous=previous,
+                driven=driven,
+                received=received,
+            )
+        )
+    return trace
+
+
+def _pack_bus_snapshot(snapshot: BusSnapshot) -> bytes:
+    counts = dict(snapshot.by_kind)
+    return _BUS_SNAP.pack(
+        snapshot.value,
+        snapshot.transactions,
+        snapshot.corrupted,
+        *(counts.get(kind, 0) for kind in _KINDS),
+    )
+
+
+def _unpack_bus_snapshot(blob: bytes) -> BusSnapshot:
+    fields = _BUS_SNAP.unpack(blob)
+    return BusSnapshot(
+        value=fields[0],
+        transactions=fields[1],
+        corrupted=fields[2],
+        by_kind=tuple(zip(_KINDS, fields[3:])),
+    )
+
+
+def _pack_checkpoints(checkpoints: List[Checkpoint], memory_size: int) -> bytes:
+    out = bytearray()
+    for checkpoint in checkpoints:
+        snapshot = checkpoint.snapshot
+        cpu = snapshot.cpu
+        registers = cpu.registers
+        if len(snapshot.memory) != memory_size:
+            raise CacheError("checkpoint memory size mismatch")
+        out += _CHECKPOINT_HEAD.pack(
+            snapshot.cycle,
+            snapshot.pending_address,
+            registers.ac,
+            registers.pc,
+            registers.ir,
+            registers.arg,
+            registers.mar,
+            registers.flags.as_mask(),
+            _STATE_INDEX[cpu.state],
+            cpu.instruction_count,
+            1 if cpu.decoded is not None else 0,
+            cpu.instruction_start,
+            cpu.effective_address,
+            cpu.pointer_address,
+            cpu.operand,
+        )
+        out += _pack_bus_snapshot(snapshot.address_bus)
+        out += _pack_bus_snapshot(snapshot.data_bus)
+        out += snapshot.memory
+    return bytes(out)
+
+
+def _unpack_checkpoints(blob: bytes, memory_size: int) -> List[Checkpoint]:
+    record_size = _CHECKPOINT_HEAD.size + 2 * _BUS_SNAP.size + memory_size
+    if record_size <= 0 or len(blob) % record_size:
+        raise CacheError("checkpoint section is not a whole number of records")
+    checkpoints = []
+    for base in range(0, len(blob), record_size):
+        head = _CHECKPOINT_HEAD.unpack_from(blob, base)
+        (
+            cycle,
+            pending,
+            ac,
+            pc,
+            ir,
+            arg,
+            mar,
+            flag_mask,
+            state_index,
+            instruction_count,
+            has_decoded,
+            instruction_start,
+            effective_address,
+            pointer_address,
+            operand,
+        ) = head
+        if state_index >= len(_STATES):
+            raise CacheError("checkpoint record has an out-of-range state")
+        offset = base + _CHECKPOINT_HEAD.size
+        address_bus = _unpack_bus_snapshot(blob[offset : offset + _BUS_SNAP.size])
+        offset += _BUS_SNAP.size
+        data_bus = _unpack_bus_snapshot(blob[offset : offset + _BUS_SNAP.size])
+        offset += _BUS_SNAP.size
+        memory = blob[offset : offset + memory_size]
+        cpu = CpuSnapshot(
+            registers=RegisterFile(
+                ac=ac,
+                pc=pc,
+                ir=ir,
+                arg=arg,
+                mar=mar,
+                flags=Flags(
+                    v=bool(flag_mask & 8),
+                    c=bool(flag_mask & 4),
+                    z=bool(flag_mask & 2),
+                    n=bool(flag_mask & 1),
+                ),
+            ),
+            state=_STATES[state_index],
+            instruction_count=instruction_count,
+            # The decoder is a pure function of IR, and IR always holds
+            # the byte the latched decode came from — so the decode is
+            # reconstructed instead of stored.
+            decoded=decode_raw(ir) if has_decoded else None,
+            instruction_start=instruction_start,
+            effective_address=effective_address,
+            pointer_address=pointer_address,
+            operand=operand,
+        )
+        checkpoints.append(
+            Checkpoint(
+                cycle=cycle,
+                snapshot=SystemSnapshot(
+                    cycle=cycle,
+                    pending_address=pending,
+                    cpu=cpu,
+                    memory=memory,
+                    address_bus=address_bus,
+                    data_bus=data_bus,
+                ),
+            )
+        )
+    return checkpoints
+
+
+def _pack_verdicts(verdicts: Mapping[int, ScreenVerdict]) -> bytes:
+    out = bytearray()
+    for index in sorted(verdicts):
+        verdict = verdicts[index]
+        out += _VERDICT.pack(
+            verdict.defect_index,
+            1 if verdict.clean else 0,
+            -1 if verdict.first_index is None else verdict.first_index,
+            -1 if verdict.first_cycle is None else verdict.first_cycle,
+        )
+    return bytes(out)
+
+
+def _unpack_verdicts(blob: bytes) -> Dict[int, ScreenVerdict]:
+    if len(blob) % _VERDICT.size:
+        raise CacheError("verdict section is not a whole number of records")
+    verdicts = {}
+    for index, clean, first_index, first_cycle in _VERDICT.iter_unpack(blob):
+        verdicts[index] = ScreenVerdict(
+            defect_index=index,
+            clean=bool(clean),
+            first_index=None if first_index < 0 else first_index,
+            first_cycle=None if first_cycle < 0 else first_cycle,
+        )
+    return verdicts
+
+
+# ---------------------------------------------------------------------------
+# Entry file format
+# ---------------------------------------------------------------------------
+
+
+def _encode_entry(header: dict, sections: Dict[str, Tuple[bytes, str]]) -> bytes:
+    body = bytearray()
+    section_table = {}
+    for name, (payload, codec) in sections.items():
+        stored = zlib.compress(payload, 1) if codec == "zlib" else payload
+        section_table[name] = {
+            "offset": len(body),
+            "length": len(stored),
+            "raw_length": len(payload),
+            "codec": codec,
+            "sha256": hashlib.sha256(stored).hexdigest(),
+        }
+        body += stored
+    header = {**header, "sections": section_table}
+    line = json.dumps(header, sort_keys=True, separators=(",", ":"))
+    return line.encode("utf-8") + b"\n" + bytes(body)
+
+
+def _decode_header(data: bytes) -> Tuple[dict, bytes]:
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise CacheError("missing header line")
+    try:
+        header = json.loads(data[:newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CacheError(f"undecodable header: {error}") from None
+    if not isinstance(header, dict):
+        raise CacheError("header is not a JSON object")
+    if header.get("magic") != MAGIC:
+        raise CacheError("bad magic")
+    if header.get("version") != FORMAT_VERSION:
+        raise CacheError(f"format version {header.get('version')!r} != {FORMAT_VERSION}")
+    return header, data[newline + 1 :]
+
+
+def _read_section(header: dict, body: bytes, name: str) -> bytes:
+    sections = header.get("sections")
+    if not isinstance(sections, dict) or name not in sections:
+        raise CacheError(f"missing section {name!r}")
+    meta = sections[name]
+    try:
+        offset, length = int(meta["offset"]), int(meta["length"])
+        codec, digest = meta["codec"], meta["sha256"]
+        raw_length = int(meta["raw_length"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CacheError(f"malformed section table for {name!r}: {error}") from None
+    if offset < 0 or length < 0 or offset + length > len(body):
+        raise CacheError(f"section {name!r} exceeds the entry body")
+    stored = body[offset : offset + length]
+    if hashlib.sha256(stored).hexdigest() != digest:
+        raise CacheError(f"section {name!r} failed its integrity hash")
+    if codec == "raw":
+        payload = stored
+    elif codec == "zlib":
+        try:
+            payload = zlib.decompress(stored)
+        except zlib.error as error:
+            raise CacheError(f"section {name!r} failed to decompress: {error}") from None
+    else:
+        raise CacheError(f"section {name!r} has unknown codec {codec!r}")
+    if len(payload) != raw_length:
+        raise CacheError(f"section {name!r} has the wrong decoded length")
+    return payload
+
+
+@dataclass(frozen=True)
+class CachedCampaign:
+    """A warm cache entry: everything ``build_engine`` would recompute."""
+
+    capture: GoldenCapture
+    verdicts: Dict[int, ScreenVerdict]
+    bus: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """Header-level description of one on-disk entry (for ``cache ls``)."""
+
+    path: Path
+    key: str
+    fingerprint: str
+    bus: str
+    cycles: int
+    trace_length: int
+    checkpoint_count: int
+    verdict_count: int
+    size_bytes: int
+    created: float
+    ok: bool
+
+
+class GoldenRunCache:
+    """Content-addressed store of golden captures and screen verdicts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- keys ---------------------------------------------------------
+
+    def key_for(
+        self, fingerprint: str, checkpoint_interval: Optional[int] = None
+    ) -> str:
+        """The entry key for a campaign fingerprint + interval knob.
+
+        The interval changes the checkpoint series (an artifact, not an
+        input), so it is part of the key rather than the fingerprint;
+        the format version is folded in so layout changes miss cleanly.
+        """
+        token = "auto" if checkpoint_interval is None else str(int(checkpoint_interval))
+        payload = f"{MAGIC}:v{FORMAT_VERSION}:{fingerprint}:{token}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    # -- load / store -------------------------------------------------
+
+    def load(
+        self, fingerprint: str, checkpoint_interval: Optional[int] = None
+    ) -> Optional[CachedCampaign]:
+        """Return the warm entry for ``fingerprint``, or ``None``.
+
+        Counts a hit or a miss; corrupt entries are unlinked (counted
+        as ``corrupt_evicted``) and reported as misses.
+        """
+        path = self._path(self.key_for(fingerprint, checkpoint_interval))
+        entry = self._load_quiet(path)
+        if entry is None:
+            _count("misses")
+            return None
+        _count("hits")
+        return entry
+
+    def _load_quiet(self, path: Path) -> Optional[CachedCampaign]:
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            header, body = _decode_header(data)
+            memory_size = int(header["memory_size"])
+            golden_blob = _read_section(header, body, "golden")
+            if len(golden_blob) < _GOLDEN_HEAD.size:
+                raise CacheError("golden section is truncated")
+            cycles, instructions = _GOLDEN_HEAD.unpack_from(golden_blob, 0)
+            memory = golden_blob[_GOLDEN_HEAD.size :]
+            if len(memory) != memory_size:
+                raise CacheError("golden memory image has the wrong size")
+            bus = header["bus"]
+            if bus not in ("addr", "data"):
+                raise CacheError(f"unknown bus {bus!r}")
+            capture = GoldenCapture(
+                golden=GoldenReference(
+                    snapshot=memory, cycles=cycles, instructions=instructions
+                ),
+                trace=_unpack_trace(_read_section(header, body, "trace"), bus),
+                checkpoints=_unpack_checkpoints(
+                    _read_section(header, body, "checkpoints"), memory_size
+                ),
+            )
+            verdicts = _unpack_verdicts(_read_section(header, body, "verdicts"))
+        except (CacheError, KeyError, TypeError, ValueError, struct.error) as error:
+            logger.warning("evicting corrupt cache entry %s: %s", path, error)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            _count("corrupt_evicted")
+            return None
+        return CachedCampaign(
+            capture=capture, verdicts=verdicts, bus=bus, path=path
+        )
+
+    def store(
+        self,
+        fingerprint: str,
+        checkpoint_interval: Optional[int],
+        bus: str,
+        capture: GoldenCapture,
+        verdicts: Optional[Mapping[int, ScreenVerdict]] = None,
+    ) -> Path:
+        """Write (or overwrite) the entry for ``fingerprint`` atomically."""
+        verdicts = dict(verdicts or {})
+        key = self.key_for(fingerprint, checkpoint_interval)
+        memory_size = len(capture.golden.snapshot)
+        try:
+            data = _encode_entry(
+                {
+                    "magic": MAGIC,
+                    "version": FORMAT_VERSION,
+                    "key": key,
+                    "fingerprint": fingerprint,
+                    "interval": (
+                        "auto"
+                        if checkpoint_interval is None
+                        else int(checkpoint_interval)
+                    ),
+                    "bus": bus,
+                    "memory_size": memory_size,
+                    "cycles": capture.golden.cycles,
+                    "instructions": capture.golden.instructions,
+                    "trace_length": len(capture.trace),
+                    "checkpoint_count": len(capture.checkpoints),
+                    "verdict_count": len(verdicts),
+                    "created": time.time(),
+                },
+                {
+                    "golden": (
+                        _GOLDEN_HEAD.pack(
+                            capture.golden.cycles, capture.golden.instructions
+                        )
+                        + capture.golden.snapshot,
+                        "zlib",
+                    ),
+                    "trace": (_pack_trace(capture.trace), "zlib"),
+                    "checkpoints": (
+                        _pack_checkpoints(capture.checkpoints, memory_size),
+                        "zlib",
+                    ),
+                    "verdicts": (_pack_verdicts(verdicts), "raw"),
+                },
+            )
+        except struct.error as error:
+            raise CacheError(f"entry not representable in cache format: {error}")
+        path = self._path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        _count("stores")
+        return path
+
+    def merge_verdicts(
+        self,
+        fingerprint: str,
+        checkpoint_interval: Optional[int],
+        bus: str,
+        capture: GoldenCapture,
+        verdicts: Mapping[int, ScreenVerdict],
+    ) -> bool:
+        """Fold newly screened verdicts into the entry (write-back).
+
+        Returns True when the entry was (re)written; a no-op when every
+        verdict is already stored, so warm runs do zero writes.
+        """
+        path = self._path(self.key_for(fingerprint, checkpoint_interval))
+        existing = self._load_quiet(path)
+        merged: Dict[int, ScreenVerdict] = dict(existing.verdicts) if existing else {}
+        before = len(merged)
+        merged.update(verdicts)
+        if existing is not None and len(merged) == before:
+            return False
+        self.store(fingerprint, checkpoint_interval, bus, capture, merged)
+        return True
+
+    # -- maintenance --------------------------------------------------
+
+    def entries(self) -> List[CacheEntryInfo]:
+        """Header-level info for every entry under the cache root."""
+        infos = []
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            size = path.stat().st_size
+            try:
+                with open(path, "rb") as handle:
+                    first = handle.readline()
+                if not first.endswith(b"\n"):
+                    raise CacheError("missing header line")
+                header, _ = _decode_header(first)
+                infos.append(
+                    CacheEntryInfo(
+                        path=path,
+                        key=str(header.get("key", path.stem)),
+                        fingerprint=str(header.get("fingerprint", "?")),
+                        bus=str(header.get("bus", "?")),
+                        cycles=int(header.get("cycles", 0)),
+                        trace_length=int(header.get("trace_length", 0)),
+                        checkpoint_count=int(header.get("checkpoint_count", 0)),
+                        verdict_count=int(header.get("verdict_count", 0)),
+                        size_bytes=size,
+                        created=float(header.get("created", 0.0)),
+                        ok=True,
+                    )
+                )
+            except (OSError, CacheError, TypeError, ValueError):
+                infos.append(
+                    CacheEntryInfo(
+                        path=path,
+                        key=path.stem,
+                        fingerprint="?",
+                        bus="?",
+                        cycles=0,
+                        trace_length=0,
+                        checkpoint_count=0,
+                        verdict_count=0,
+                        size_bytes=size,
+                        created=0.0,
+                        ok=False,
+                    )
+                )
+        return infos
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> List[Path]:
+        """Remove entries older than ``max_age_days`` and/or beyond the
+        newest ``max_entries``; corrupt headers are always removed."""
+        removed = []
+        infos = self.entries()
+        keep = [info for info in infos if info.ok]
+        for info in infos:
+            if not info.ok:
+                removed.append(info.path)
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            stale = [info for info in keep if info.created < cutoff]
+            removed.extend(info.path for info in stale)
+            keep = [info for info in keep if info.created >= cutoff]
+        if max_entries is not None and len(keep) > max_entries:
+            keep.sort(key=lambda info: info.created, reverse=True)
+            removed.extend(info.path for info in keep[max_entries:])
+        for path in removed:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        count = 0
+        for path in self.root.glob(f"*{_SUFFIX}"):
+            try:
+                path.unlink()
+                count += 1
+            except OSError:
+                pass
+        return count

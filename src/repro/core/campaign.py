@@ -70,14 +70,22 @@ from typing import (
     Union,
 )
 
-from repro.core.engine import ENGINES, SimulationEngine, make_engine
+from repro.core import cache as golden_cache
+from repro.core.engine import (
+    ENGINES,
+    SimulationEngine,
+    capture_golden_with_trace,
+    make_engine,
+)
 from repro.core.program_builder import SelfTestProgram
 from repro.core.signature import ResponseCheck
+from repro.cpu.microcode import resolve_core
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import merge_snapshot
 from repro.xtalk.calibration import Calibration
 from repro.xtalk.defects import Defect
 from repro.xtalk.params import ElectricalParams
+from repro.xtalk.screen import ScreenVerdict
 
 logger = logging.getLogger("repro.core.campaign")
 
@@ -247,9 +255,9 @@ class CampaignSpec:
     and threshold configuration, the defect slice, and the engine
     selection.  It references no live system, bus, hook, tracer, or
     open file — workers rebuild all of that with
-    :meth:`build_engine` (the golden capture is recomputed per worker,
-    which is one fault-free run: negligible against a library-sized
-    shard).
+    :meth:`build_engine`, which consults the golden-run artifact cache
+    (:mod:`repro.core.cache`) so the golden capture is simulated at
+    most once per fingerprint, not once per worker/resume/invocation.
     """
 
     program: SelfTestProgram
@@ -262,12 +270,15 @@ class CampaignSpec:
     screen_backend: str = "auto"
     label: str = "campaign"
     seed: Optional[int] = None
+    core: str = "auto"
+    use_cache: bool = True
 
     def __post_init__(self):
         if self.bus not in ("addr", "data"):
             raise ValueError("bus must be 'addr' or 'data'")
         if self.engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}")
+        resolve_core(self.core)  # validates; raises ValueError on junk
 
     @classmethod
     def from_setup(
@@ -291,12 +302,40 @@ class CampaignSpec:
     def build_engine(self) -> SimulationEngine:
         """Rebuild the simulation engine this spec describes.
 
-        This is the factory workers call after unpickling a spec; the
-        engine recomputes its own golden capture (and, for the
-        screened engine, checkpoints and trace screen) from the
-        program image.
+        This is the factory workers call after unpickling a spec.  With
+        ``use_cache`` (the default, unless ``REPRO_GOLDEN_CACHE=0``),
+        the golden capture and any screen verdicts come from the
+        content-addressed artifact cache when warm — the engine then
+        does *zero* golden simulation — and are stored on a miss so the
+        next build (worker, resume, re-invocation) is warm.  Cache
+        failures degrade to a plain rebuild: the cache can cost time,
+        never correctness.
         """
-        return make_engine(
+        store = golden_cache.default_cache() if self.use_cache else None
+        capture = None
+        verdicts: Optional[Dict[int, ScreenVerdict]] = None
+        fingerprint = None
+        if store is not None:
+            fingerprint = self.fingerprint()
+            entry = store.load(fingerprint, self.checkpoint_interval)
+            if entry is not None:
+                capture = entry.capture
+                verdicts = entry.verdicts
+        if capture is None:
+            capture = capture_golden_with_trace(
+                self.program,
+                self.bus,
+                interval=self.checkpoint_interval,
+                core=self.core,
+            )
+            if store is not None:
+                try:
+                    store.store(
+                        fingerprint, self.checkpoint_interval, self.bus, capture
+                    )
+                except (golden_cache.CacheError, OSError) as error:
+                    logger.warning("golden cache store failed: %s", error)
+        engine = make_engine(
             self.engine,
             self.program,
             self.params,
@@ -304,7 +343,32 @@ class CampaignSpec:
             self.bus,
             checkpoint_interval=self.checkpoint_interval,
             screen_backend=self.screen_backend,
+            core=self.core,
+            capture=capture,
+            verdicts=verdicts,
         )
+        if store is not None and hasattr(engine, "screen_sink"):
+            def write_back(
+                all_verdicts: Dict[int, ScreenVerdict],
+                _store: "golden_cache.GoldenRunCache" = store,
+                _fingerprint: str = fingerprint,
+                _capture=capture,
+            ) -> None:
+                try:
+                    _store.merge_verdicts(
+                        _fingerprint,
+                        self.checkpoint_interval,
+                        self.bus,
+                        _capture,
+                        all_verdicts,
+                    )
+                except (golden_cache.CacheError, OSError) as error:
+                    logger.warning(
+                        "golden cache verdict write-back failed: %s", error
+                    )
+
+            engine.screen_sink = write_back
+        return engine
 
     def fingerprint(self) -> str:
         """Stable identity of the campaign's *outcome-determining* config.
@@ -572,6 +636,7 @@ class SerialBackend(ExecutionBackend):
 _WORKER_SPEC: Optional[CampaignSpec] = None
 _WORKER_ENGINE: Optional[SimulationEngine] = None
 _WORKER_COLLECT = False
+_WORKER_STARTUP_SNAPSHOT: Dict[str, dict] = {}
 
 
 def _init_worker(spec: CampaignSpec, collect_metrics: bool) -> None:
@@ -580,23 +645,36 @@ def _init_worker(spec: CampaignSpec, collect_metrics: bool) -> None:
     Any observability session inherited through ``fork`` is dropped
     first: its registry belongs to the parent and updating the copy
     would silently discard metrics.  Workers that should report roll
-    up through their own session in :func:`_run_shard` instead.
+    up through their own session in :func:`_run_shard` instead; the
+    engine build runs under its own session here so startup metrics
+    (golden-cache hits, golden cycles) survive into the worker's first
+    shard rollup rather than vanishing with the fork.
     """
     global _WORKER_SPEC, _WORKER_ENGINE, _WORKER_COLLECT
+    global _WORKER_STARTUP_SNAPSHOT
     obs_runtime.disable()
     _WORKER_SPEC = spec
-    _WORKER_ENGINE = spec.build_engine()
     _WORKER_COLLECT = collect_metrics
+    if collect_metrics:
+        with obs_runtime.session(detail="metrics") as session:
+            _WORKER_ENGINE = spec.build_engine()
+            _WORKER_STARTUP_SNAPSHOT = session.registry.snapshot()
+    else:
+        _WORKER_ENGINE = spec.build_engine()
 
 
 def _run_shard(
     positions: Sequence[int],
 ) -> Tuple[List[DetectionOutcome], Dict[str, dict]]:
     """Judge one shard (positions into ``spec.defects``) in a worker."""
+    global _WORKER_STARTUP_SNAPSHOT
     assert _WORKER_SPEC is not None and _WORKER_ENGINE is not None
     defects = [_WORKER_SPEC.defects[position] for position in positions]
     if _WORKER_COLLECT:
         with obs_runtime.session(detail="metrics") as session:
+            if _WORKER_STARTUP_SNAPSHOT:
+                merge_snapshot(session.registry, _WORKER_STARTUP_SNAPSHOT)
+                _WORKER_STARTUP_SNAPSHOT = {}
             outcomes = run_defects(_WORKER_ENGINE, defects, _WORKER_SPEC.bus)
             snapshot = session.registry.snapshot()
         return outcomes, snapshot

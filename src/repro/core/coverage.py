@@ -85,6 +85,9 @@ class DefectSimulator:
         Both produce identical :class:`DetectionOutcome` values.
     checkpoint_interval / screen_backend:
         Tuning knobs of the screened engine (ignored by ``"exact"``).
+    core:
+        CPU implementation (``"micro"`` / ``"fast"`` / ``"auto"``; see
+        :func:`repro.cpu.microcode.resolve_core`).
     """
 
     def __init__(
@@ -96,6 +99,7 @@ class DefectSimulator:
         engine: str = "exact",
         checkpoint_interval: Optional[int] = None,
         screen_backend: str = "auto",
+        core: str = "auto",
     ):
         if bus not in ("addr", "data"):
             raise ValueError("bus must be 'addr' or 'data'")
@@ -108,6 +112,7 @@ class DefectSimulator:
         self.engine_name = engine
         self.checkpoint_interval = checkpoint_interval
         self.screen_backend = screen_backend
+        self.core = core
         self.engine: SimulationEngine = make_engine(
             engine,
             program,
@@ -116,6 +121,7 @@ class DefectSimulator:
             bus,
             checkpoint_interval=checkpoint_interval,
             screen_backend=screen_backend,
+            core=core,
         )
         self.golden: GoldenReference = self.engine.golden
 
@@ -133,6 +139,7 @@ class DefectSimulator:
             checkpoint_interval=self.checkpoint_interval,
             screen_backend=self.screen_backend,
             label=label,
+            core=self.core,
         )
 
     def simulate(self, defect: Defect) -> DetectionOutcome:
@@ -234,6 +241,7 @@ def address_bus_line_coverage(
     journal: Optional[Union[str, Path]] = None,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    core: str = "auto",
 ) -> CoverageReport:
     """Reproduce Fig. 11: per-interconnect and cumulative coverage.
 
@@ -283,6 +291,7 @@ def address_bus_line_coverage(
                     engine=engine,
                     screen_backend=screen_backend,
                     label=f"line{victim + 1}",
+                    core=core,
                 )
                 result = CampaignRunner(
                     spec,
@@ -319,6 +328,7 @@ def address_bus_line_coverage(
                 engine=engine,
                 screen_backend=screen_backend,
                 label="full",
+                core=core,
             )
             result = CampaignRunner(
                 spec,

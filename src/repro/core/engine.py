@@ -110,11 +110,21 @@ def auto_checkpoint_interval(golden_cycles: int) -> int:
     )
 
 
+def _count_golden_cycles(cycles: int) -> None:
+    """Tally fault-free simulation work (``coverage.engine.golden_cycles``).
+
+    Warm-cache engine builds skip golden simulation entirely, which is
+    exactly what this counter staying at zero proves.
+    """
+    obs_runtime.registry().counter("coverage.engine.golden_cycles").inc(cycles)
+
+
 def capture_golden_with_trace(
     program: SelfTestProgram,
     bus: str,
     interval: Optional[int] = None,
     base_image: Optional[bytes] = None,
+    core: str = "auto",
 ) -> GoldenCapture:
     """Run ``program`` fault-free, recording trace and checkpoints.
 
@@ -129,15 +139,16 @@ def capture_golden_with_trace(
     run — negligible against a library-sized campaign).
     """
     if interval is None:
-        probe = make_system(program, base_image)
+        probe = make_system(program, base_image, core=core)
         result = probe.run(entry=program.entry, max_cycles=10_000_000)
         if not result.halted:
             raise RuntimeError("golden run did not reach the halt convention")
+        _count_golden_cycles(result.cycles)
         interval = auto_checkpoint_interval(result.cycles)
     if interval <= 0:
         raise ValueError("checkpoint interval must be positive")
 
-    system = make_system(program, base_image)
+    system = make_system(program, base_image, core=core)
     trace: List[BusTransaction] = []
     _bus_of(system, bus).add_observer(trace.append)
     system.reset(program.entry)
@@ -150,6 +161,7 @@ def capture_golden_with_trace(
             )
     if not system.cpu.halted:
         raise RuntimeError("golden run did not reach the halt convention")
+    _count_golden_cycles(system.cycle)
     golden = GoldenReference(
         snapshot=system.memory.snapshot(),
         cycles=system.cycle,
@@ -187,7 +199,12 @@ class SimulationEngine:
 
 
 class ExactEngine(SimulationEngine):
-    """One full replay per defect (the original simulator behavior)."""
+    """One full replay per defect (the original simulator behavior).
+
+    ``golden`` may be injected (e.g. from the golden-run artifact
+    cache, :mod:`repro.core.cache`) to skip the fault-free probe run;
+    ``core`` selects the CPU implementation for every replay.
+    """
 
     name = "exact"
 
@@ -197,25 +214,33 @@ class ExactEngine(SimulationEngine):
         params: ElectricalParams,
         calibration: Calibration,
         bus: str,
+        core: str = "auto",
+        golden: Optional[GoldenReference] = None,
     ):
         self.program = program
         self.params = params
         self.calibration = calibration
         self.bus = bus
+        self.core = core
         self._base_image = build_base_image(program)
-        probe = make_system(program, self._base_image)
-        result = probe.run(entry=program.entry, max_cycles=10_000_000)
-        if not result.halted:
-            raise RuntimeError("golden run did not reach the halt convention")
-        self.golden = GoldenReference(
-            snapshot=probe.memory.snapshot(),
-            cycles=result.cycles,
-            instructions=result.instructions,
-        )
+        if golden is None:
+            probe = make_system(program, self._base_image, core=core)
+            result = probe.run(entry=program.entry, max_cycles=10_000_000)
+            if not result.halted:
+                raise RuntimeError(
+                    "golden run did not reach the halt convention"
+                )
+            _count_golden_cycles(result.cycles)
+            golden = GoldenReference(
+                snapshot=probe.memory.snapshot(),
+                cycles=result.cycles,
+                instructions=result.instructions,
+            )
+        self.golden = golden
         self.last_model = None
 
     def check(self, defect: Defect) -> ResponseCheck:
-        system = make_system(self.program, self._base_image)
+        system = make_system(self.program, self._base_image, core=self.core)
         model = CrosstalkErrorModel(defect.caps, self.params, self.calibration)
         _bus_of(system, self.bus).install_corruption_hook(model.corrupt)
         result = system.run(
@@ -278,6 +303,13 @@ class ScreenedEngine(SimulationEngine):
     screen_backend:
         Passed to :class:`~repro.xtalk.screen.TraceScreen` (``"auto"``,
         ``"numpy"`` or ``"python"``).
+    core:
+        CPU implementation for the capture and every replay.
+    capture / verdicts:
+        Warm golden artifacts (e.g. from :mod:`repro.core.cache`).
+        With a ``capture`` the engine does zero golden simulation;
+        ``verdicts`` preloads screening results keyed by defect index,
+        so already-screened defects skip the screen too.
     """
 
     name = "screened"
@@ -290,23 +322,33 @@ class ScreenedEngine(SimulationEngine):
         bus: str,
         checkpoint_interval: Optional[int] = None,
         screen_backend: str = "auto",
+        core: str = "auto",
+        capture: Optional[GoldenCapture] = None,
+        verdicts: Optional[Dict[int, ScreenVerdict]] = None,
     ):
         self.program = program
         self.params = params
         self.calibration = calibration
         self.bus = bus
+        self.core = core
         self._base_image = build_base_image(program)
-        capture = capture_golden_with_trace(
-            program, bus, interval=checkpoint_interval,
-            base_image=self._base_image,
-        )
+        if capture is None:
+            capture = capture_golden_with_trace(
+                program, bus, interval=checkpoint_interval,
+                base_image=self._base_image, core=core,
+            )
+        self.capture = capture
         self.golden = capture.golden
         self.checkpoints = capture.checkpoints
         self.screen = TraceScreen(
             capture.trace, params, calibration, backend=screen_backend
         )
-        self._scratch = make_system(program, self._base_image)
-        self._verdicts: Dict[int, ScreenVerdict] = {}
+        self._scratch = make_system(program, self._base_image, core=core)
+        self._verdicts: Dict[int, ScreenVerdict] = dict(verdicts or {})
+        #: Optional write-back hook: called with the cumulative verdict
+        #: map whenever :meth:`prepare` screens defects it did not
+        #: already know (the cache layer uses this to persist verdicts).
+        self.screen_sink = None
         # first corrupted trace index -> replay behaviors seen so far,
         # most-recently-matched first (defect libraries cluster, so the
         # scan almost always hits the front entry).
@@ -320,11 +362,29 @@ class ScreenedEngine(SimulationEngine):
     # -- screening ----------------------------------------------------------
 
     def prepare(self, defects: Iterable[Defect]) -> None:
-        """Screen the whole library in one (vectorized) pass."""
+        """Screen the library in one (vectorized) pass.
+
+        Defects with preloaded verdicts (from the cache) are skipped
+        and counted as ``coverage.engine.verdicts_preloaded``; when the
+        pass screened anything new, the cumulative verdict map is
+        offered to :attr:`screen_sink` for write-back.
+        """
         defects = list(defects)
-        verdicts = self.screen.screen(defects)
-        for defect, verdict in zip(defects, verdicts):
+        missing = [
+            defect for defect in defects if defect.index not in self._verdicts
+        ]
+        preloaded = len(defects) - len(missing)
+        if preloaded:
+            obs_runtime.registry().counter(
+                "coverage.engine.verdicts_preloaded"
+            ).inc(preloaded)
+        if not missing:
+            return
+        verdicts = self.screen.screen(missing)
+        for defect, verdict in zip(missing, verdicts):
             self._verdicts[defect.index] = verdict
+        if self.screen_sink is not None:
+            self.screen_sink(dict(self._verdicts))
 
     def _verdict_for(self, defect: Defect) -> ScreenVerdict:
         verdict = self._verdicts.get(defect.index)
@@ -453,12 +513,27 @@ def make_engine(
     bus: str,
     checkpoint_interval: Optional[int] = None,
     screen_backend: str = "auto",
+    core: str = "auto",
+    capture: Optional[GoldenCapture] = None,
+    verdicts: Optional[Dict[int, ScreenVerdict]] = None,
 ) -> SimulationEngine:
-    """Engine factory keyed by name (``"exact"`` / ``"screened"``)."""
+    """Engine factory keyed by name (``"exact"`` / ``"screened"``).
+
+    ``capture``/``verdicts`` inject warm golden artifacts (from
+    :mod:`repro.core.cache`); with a capture neither engine simulates
+    the golden run.
+    """
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}")
     if engine == "exact":
-        return ExactEngine(program, params, calibration, bus)
+        return ExactEngine(
+            program,
+            params,
+            calibration,
+            bus,
+            core=core,
+            golden=capture.golden if capture is not None else None,
+        )
     return ScreenedEngine(
         program,
         params,
@@ -466,6 +541,9 @@ def make_engine(
         bus,
         checkpoint_interval=checkpoint_interval,
         screen_backend=screen_backend,
+        core=core,
+        capture=capture,
+        verdicts=verdicts,
     )
 
 

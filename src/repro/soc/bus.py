@@ -133,8 +133,11 @@ class Bus:
         self._observers: List[Callable[[BusTransaction], None]] = []
         self._transaction_count = 0
         self._corrupted_count = 0
-        self._kind_counts: Dict[TransactionKind, int] = {
-            kind: 0 for kind in TransactionKind
+        # Keyed by TransactionKind.value: string keys have a C-level
+        # cached hash, unlike enum members whose __hash__ is a Python
+        # call — and transfer() bumps this on every bus word.
+        self._kind_counts: Dict[str, int] = {
+            kind.value: 0 for kind in TransactionKind
         }
 
     @property
@@ -155,7 +158,7 @@ class Bus:
         return BusStats(
             transactions=self._transaction_count,
             corrupted=self._corrupted_count,
-            by_kind=dict(self._kind_counts),
+            by_kind={kind: self._kind_counts[kind.value] for kind in TransactionKind},
         )
 
     def reset(self, value: int = 0) -> None:
@@ -170,7 +173,9 @@ class Bus:
             value=self._value,
             transactions=self._transaction_count,
             corrupted=self._corrupted_count,
-            by_kind=tuple(self._kind_counts.items()),
+            by_kind=tuple(
+                (kind, self._kind_counts[kind.value]) for kind in TransactionKind
+            ),
         )
 
     def restore(self, snapshot: BusSnapshot) -> None:
@@ -185,8 +190,9 @@ class Bus:
         self._value = snapshot.value
         self._transaction_count = snapshot.transactions
         self._corrupted_count = snapshot.corrupted
-        self._kind_counts = {kind: 0 for kind in TransactionKind}
-        self._kind_counts.update(dict(snapshot.by_kind))
+        self._kind_counts = {kind.value: 0 for kind in TransactionKind}
+        for kind, count in snapshot.by_kind:
+            self._kind_counts[kind.value] = count
 
     def transfer(
         self,
@@ -210,18 +216,24 @@ class Bus:
             received = self._corruption_hook(previous, value, direction) & self._mask
         self._value = value
         self._transaction_count += 1
-        self._kind_counts[kind] += 1
+        # _value_ is the enum member's plain instance attribute; going
+        # through the .value descriptor costs a Python-level call here.
+        self._kind_counts[kind._value_] += 1
         if received != value:
             self._corrupted_count += 1
-        transaction = BusTransaction(
-            cycle=cycle,
-            bus=self.name,
-            kind=kind,
-            direction=direction,
-            previous=previous,
-            driven=value,
-            received=received,
-        )
-        for observer in self._observers:
-            observer(transaction)
+        observers = self._observers
+        if observers:
+            # Only materialize the transaction record when someone is
+            # listening; the no-observer path is the simulation hot loop.
+            transaction = BusTransaction(
+                cycle=cycle,
+                bus=self.name,
+                kind=kind,
+                direction=direction,
+                previous=previous,
+                driven=value,
+                received=received,
+            )
+            for observer in observers:
+                observer(transaction)
         return received

@@ -20,6 +20,7 @@ from typing import List, Mapping, Optional, Sequence
 
 from repro.cpu.control import STATE_CATEGORIES
 from repro.cpu.datapath import BusPort, Cpu, CpuSnapshot
+from repro.cpu.microcode import FastCpu, resolve_core
 from repro.isa.instructions import ADDR_BITS, DATA_BITS, MEMORY_SIZE
 from repro.obs import runtime as obs_runtime
 from repro.obs.runtime import Observability
@@ -73,6 +74,11 @@ class CpuMemorySystem(BusPort):
         Bus widths; defaults match the paper (12-bit address, 8-bit data).
     mmio_regions:
         Optional memory-mapped cores overriding parts of the address space.
+    core:
+        CPU implementation: ``"micro"`` (the readable FSM reference),
+        ``"fast"`` (the microprogram interpreter) or ``"auto"`` (honour
+        ``REPRO_FAST_CORE``; defaults to fast).  The cores are
+        bit-identical — see :mod:`repro.cpu.lockstep`.
     """
 
     def __init__(
@@ -81,12 +87,14 @@ class CpuMemorySystem(BusPort):
         addr_bits: int = ADDR_BITS,
         data_bits: int = DATA_BITS,
         mmio_regions: Optional[Sequence[MMIORegion]] = None,
+        core: str = "auto",
     ):
         self.address_bus = Bus("addr", addr_bits)
         self.data_bus = Bus("data", data_bits)
         self.memory = Memory(memory_size)
         self.mmio_regions: List[MMIORegion] = list(mmio_regions or [])
-        self.cpu = Cpu(self)
+        self.core = resolve_core(core)
+        self.cpu = FastCpu(self) if self.core == "fast" else Cpu(self)
         self.cycle = 0
         self._pending_address = 0
 
@@ -221,8 +229,12 @@ class CpuMemorySystem(BusPort):
         """Clock the CPU until halt or ``max_cycles``; shared by run/resume."""
         cpu = self.cpu
         if obs is None:
-            while not cpu.halted and self.cycle < max_cycles:
-                self.step()
+            tick = cpu.tick
+            cycle = self.cycle
+            while not cpu.halted and cycle < max_cycles:
+                cycle += 1
+                self.cycle = cycle
+                tick()
             return RunResult(
                 halted=cpu.halted,
                 cycles=self.cycle,

@@ -15,8 +15,13 @@ This package stands in for the paper's HDL-level crosstalk machinery:
 """
 
 from repro.xtalk.geometry import BusGeometry
-from repro.xtalk.capacitance import CapacitanceSet, extract_capacitance
-from repro.xtalk.params import ElectricalParams
+from repro.xtalk.capacitance import (
+    CapacitanceSet,
+    extract_capacitance,
+    load_capacitance,
+    parse_capacitance,
+)
+from repro.xtalk.params import ElectricalParams, load_params, parse_params
 from repro.xtalk.rc_model import (
     TransitionKindBits,
     classify_transition,
@@ -34,7 +39,11 @@ __all__ = [
     "BusGeometry",
     "CapacitanceSet",
     "extract_capacitance",
+    "load_capacitance",
+    "parse_capacitance",
     "ElectricalParams",
+    "load_params",
+    "parse_params",
     "TransitionKindBits",
     "classify_transition",
     "glitch_voltage",

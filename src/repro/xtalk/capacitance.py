@@ -17,8 +17,11 @@ conclusions depend on *ratios* (net coupling vs. threshold).
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.xtalk.geometry import BusGeometry
 
@@ -119,3 +122,62 @@ def extract_capacitance(geometry: BusGeometry) -> CapacitanceSet:
     return CapacitanceSet(
         coupling=tuple(tuple(row) for row in coupling), ground=ground
     )
+
+
+_parse_memo: Dict[str, CapacitanceSet] = {}
+_load_memo: Dict[Tuple[str, int, int], CapacitanceSet] = {}
+
+
+def parse_capacitance(text: str) -> CapacitanceSet:
+    """Parse a JSON capacitance parameter file into a :class:`CapacitanceSet`.
+
+    The document must be ``{"coupling": [[...], ...], "ground": [...]}``
+    in femtofarads.  Identical texts return the *same* instance, which
+    amortizes the O(n^2) symmetry/positivity validation in
+    ``CapacitanceSet.__post_init__`` — worker processes re-reading the
+    shared parameter file validate it once.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    cached = _parse_memo.get(digest)
+    if cached is not None:
+        return cached
+    document = json.loads(text)
+    if not isinstance(document, dict):
+        raise ValueError("capacitance file must be a JSON object")
+    unknown = set(document) - {"coupling", "ground"}
+    if unknown:
+        raise ValueError(
+            f"unknown capacitance keys: {', '.join(sorted(unknown))}"
+        )
+    try:
+        coupling = tuple(
+            tuple(float(value) for value in row)
+            for row in document["coupling"]
+        )
+        ground = tuple(float(value) for value in document["ground"])
+    except (KeyError, TypeError) as error:
+        raise ValueError(
+            "capacitance file needs 'coupling' (matrix) and 'ground' "
+            "(vector) numeric arrays"
+        ) from error
+    capacitance = CapacitanceSet(coupling=coupling, ground=ground)
+    _parse_memo[digest] = capacitance
+    return capacitance
+
+
+def load_capacitance(path: Union[str, "os.PathLike[str]"]) -> CapacitanceSet:
+    """Load a JSON capacitance file, memoized on ``(realpath, mtime, size)``.
+
+    Same contract as :func:`repro.xtalk.params.load_params`: unchanged
+    files return the cached instance, edits invalidate the entry.
+    """
+    real = os.path.realpath(os.fspath(path))
+    stat = os.stat(real)
+    key = (real, stat.st_mtime_ns, stat.st_size)
+    cached = _load_memo.get(key)
+    if cached is not None:
+        return cached
+    with open(real, "r", encoding="utf-8") as stream:
+        capacitance = parse_capacitance(stream.read())
+    _load_memo[key] = capacitance
+    return capacitance

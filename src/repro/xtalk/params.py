@@ -1,8 +1,19 @@
-"""Electrical parameters of the bus drivers and receivers."""
+"""Electrical parameters of the bus drivers and receivers.
+
+Parameter files (the paper's "parameter file" inputs) are small JSON
+objects; :func:`parse_params` / :func:`load_params` read them with a
+content- respectively stat-keyed memo, so campaign worker processes that
+reference the same file repeatedly parse and validate it exactly once
+per interpreter.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import os
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple, Union
 
 from repro.soc.bus import BusDirection
 
@@ -47,3 +58,56 @@ class ElectricalParams:
         if direction is BusDirection.CPU_TO_MEM:
             return self.r_driver_cpu
         return self.r_driver_mem
+
+
+_FIELD_NAMES = frozenset(f.name for f in fields(ElectricalParams))
+
+_parse_memo: Dict[str, ElectricalParams] = {}
+_load_memo: Dict[Tuple[str, int, int], ElectricalParams] = {}
+
+
+def parse_params(text: str) -> ElectricalParams:
+    """Parse a JSON parameter file body into :class:`ElectricalParams`.
+
+    The document must be a JSON object whose keys are a subset of the
+    dataclass fields (``vdd``, ``r_driver_cpu``, ``r_driver_mem``,
+    ``glitch_attenuation``); omitted keys take the dataclass defaults.
+    Identical texts return the *same* (immutable) instance.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    cached = _parse_memo.get(digest)
+    if cached is not None:
+        return cached
+    document = json.loads(text)
+    if not isinstance(document, dict):
+        raise ValueError("parameter file must be a JSON object")
+    unknown = set(document) - _FIELD_NAMES
+    if unknown:
+        raise ValueError(
+            f"unknown parameter keys: {', '.join(sorted(unknown))}"
+        )
+    for key, value in document.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"parameter {key!r} must be a number")
+    params = ElectricalParams(**{k: float(v) for k, v in document.items()})
+    _parse_memo[digest] = params
+    return params
+
+
+def load_params(path: Union[str, "os.PathLike[str]"]) -> ElectricalParams:
+    """Load a JSON parameter file, memoized on ``(realpath, mtime, size)``.
+
+    Re-reading an unchanged file returns the cached instance without
+    touching its contents; editing the file (which changes its mtime or
+    size) invalidates the memo entry.
+    """
+    real = os.path.realpath(os.fspath(path))
+    stat = os.stat(real)
+    key = (real, stat.st_mtime_ns, stat.st_size)
+    cached = _load_memo.get(key)
+    if cached is not None:
+        return cached
+    with open(real, "r", encoding="utf-8") as stream:
+        params = parse_params(stream.read())
+    _load_memo[key] = params
+    return params

@@ -17,6 +17,17 @@ from repro import (
 )
 
 
+@pytest.fixture(autouse=True)
+def isolated_golden_cache(tmp_path, monkeypatch):
+    """Point the golden-run artifact cache at a per-test directory.
+
+    Keeps tests hermetic: no test sees entries (or cache-counter
+    effects) created by another test or by a developer's ambient
+    ``.repro-cache``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "golden-cache"))
+
+
 @pytest.fixture(scope="session")
 def campaign_engine():
     """Engine the campaign-layer tests run on.

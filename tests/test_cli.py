@@ -52,11 +52,13 @@ def test_simulate_workers_match_serial(capsys):
             "--workers", workers, "--json",
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
-        # Backend/worker fields legitimately differ; everything the
-        # campaign *computed* must not.
+        # Backend/worker and cache-telemetry fields legitimately differ
+        # (the second run is warm); everything the campaign *computed*
+        # must not.
         outputs[workers] = {
             key: value for key, value in payload.items()
-            if key not in ("backend", "workers")
+            if key not in ("backend", "workers", "golden_cache",
+                           "golden_cycles")
         }
     assert outputs["1"] == outputs["2"]
 

@@ -1,0 +1,180 @@
+"""The microprogram fast core: table properties and lockstep equivalence.
+
+The fast core's contract is *bit-identical behaviour*: same bus
+transaction stream, same architectural state every cycle, same cycle
+and instruction counts as the reference FSM core — under fault-free
+runs and under corrupted (defective) runs alike.  These tests enforce
+the contract with the lockstep differential harness plus direct
+properties of the compiled 256-entry microprogram table.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CORES, MICROPROGRAMS, Cpu, FastCpu, decode_raw, resolve_core
+from repro.cpu.control import ControlState, expected_cycles
+from repro.cpu.lockstep import LockstepDivergence, run_lockstep
+from repro.soc.system import CpuMemorySystem
+
+
+# ---------------------------------------------------------------- resolve
+
+
+def test_resolve_core_explicit():
+    assert resolve_core("micro") == "micro"
+    assert resolve_core("fast") == "fast"
+    assert resolve_core("auto") in ("micro", "fast")
+    with pytest.raises(ValueError):
+        resolve_core("turbo")
+
+
+def test_resolve_core_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAST_CORE", raising=False)
+    assert resolve_core("auto") == "fast"  # fast is the default
+    for value in ("0", "false", "no", "off", "micro"):
+        monkeypatch.setenv("REPRO_FAST_CORE", value)
+        assert resolve_core("auto") == "micro"
+    monkeypatch.setenv("REPRO_FAST_CORE", "1")
+    assert resolve_core("auto") == "fast"
+    # explicit selection wins over the environment
+    assert resolve_core("micro") == "micro"
+
+
+def test_core_constants():
+    assert CORES == ("micro", "fast", "auto")
+
+
+def test_system_core_selection(monkeypatch):
+    monkeypatch.delenv("REPRO_FAST_CORE", raising=False)
+    assert isinstance(CpuMemorySystem(core="fast").cpu, FastCpu)
+    assert isinstance(CpuMemorySystem(core="micro").cpu, Cpu)
+    assert isinstance(CpuMemorySystem(core="auto").cpu, FastCpu)
+    monkeypatch.setenv("REPRO_FAST_CORE", "0")
+    assert isinstance(CpuMemorySystem(core="auto").cpu, Cpu)
+
+
+# ---------------------------------------------------------------- table
+
+
+def test_microprogram_table_covers_every_byte():
+    """Every first byte compiles to the FSM's exact control sequence."""
+    assert len(MICROPROGRAMS) == 256
+    for byte in range(256):
+        entry = MICROPROGRAMS[byte]
+        decoded = decode_raw(byte)
+        assert entry.decoded == decoded
+        assert len(entry.steps) == len(entry.states)
+        # The per-opcode program excludes the two shared fetch states.
+        assert len(entry.states) == expected_cycles(decoded) - 2
+        assert ControlState.FETCH1_ADDR not in entry.states
+        assert ControlState.FETCH1_DATA not in entry.states
+
+
+# ---------------------------------------------------------------- lockstep
+
+
+def test_lockstep_address_program(address_program):
+    report = run_lockstep(
+        address_program.image,
+        entry=address_program.entry,
+        memory_size=address_program.memory_size,
+    )
+    assert report.halted
+    assert report.cycles > 0
+    assert report.transactions > 0
+
+
+def test_lockstep_data_program(data_program):
+    report = run_lockstep(
+        data_program.image,
+        entry=data_program.entry,
+        memory_size=data_program.memory_size,
+    )
+    assert report.halted
+
+
+def test_lockstep_under_corruption(address_program):
+    """Cores must also agree cycle-for-cycle on *corrupted* runs."""
+
+    def flip_low_bit(previous, value, direction):
+        return value ^ 0x001 if value % 7 == 3 else value
+
+    report = run_lockstep(
+        address_program.image,
+        entry=address_program.entry,
+        memory_size=address_program.memory_size,
+        hook=flip_low_bit,
+        hook_bus="addr",
+        max_cycles=5000,
+    )
+    assert report.cycles <= 5000
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    image=st.dictionaries(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        max_size=48,
+    ),
+    entry=st.integers(min_value=0, max_value=63),
+)
+def test_lockstep_random_images(image, entry):
+    """Random sparse images: any byte soup is a valid program (the
+    decoder is total), and the cores must agree on all of it —
+    including runs that never halt and time out."""
+    report = run_lockstep(image, entry=entry, max_cycles=2000)
+    assert report.cycles <= 2000
+
+
+def test_lockstep_divergence_is_assertion_error():
+    assert issubclass(LockstepDivergence, AssertionError)
+
+
+# ---------------------------------------------------------------- state
+
+
+def test_cross_core_snapshot_restore(address_program):
+    """A mid-run FSM snapshot restores into the fast core and resumes
+    to the identical final state (and vice versa)."""
+    reference = CpuMemorySystem(
+        memory_size=address_program.memory_size, core="micro"
+    )
+    reference.load_image(address_program.image)
+    reference.reset(address_program.entry)
+    for _ in range(137):
+        reference.step()
+    frozen = reference.snapshot()
+
+    fast = CpuMemorySystem(
+        memory_size=address_program.memory_size, core="fast"
+    )
+    fast.restore(frozen)
+    assert fast.cpu.snapshot() == reference.cpu.snapshot()
+
+    while not reference.cpu.halted:
+        reference.step()
+        fast.step()
+    assert fast.cpu.halted
+    assert fast.cycle == reference.cycle
+    assert fast.memory.snapshot() == reference.memory.snapshot()
+    assert fast.cpu.snapshot() == reference.cpu.snapshot()
+
+
+def test_fast_registers_view(address_program):
+    """The read-only register view matches the packed internal state."""
+    system = CpuMemorySystem(
+        memory_size=address_program.memory_size, core="fast"
+    )
+    system.load_image(address_program.image)
+    system.reset(address_program.entry)
+    for _ in range(200):
+        system.step()
+    cpu = system.cpu
+    registers = cpu.registers
+    assert registers.ac == cpu.ac
+    assert registers.pc == cpu.pc
+    assert registers.flags.as_mask() == cpu.flags
